@@ -1,0 +1,47 @@
+"""Shared session fixtures for the benchmark harness.
+
+All figure/table benchmarks share one memoized :class:`ExperimentRunner`,
+so the expensive profiling and full-simulation passes are paid once per
+(benchmark, core count), exactly as in the paper's evaluation flow.
+
+Environment knobs:
+    REPRO_BENCH_SCALE       workload scale (default 0.5; 1.0 = the numbers
+                            recorded in EXPERIMENTS.md)
+    REPRO_BENCH_WORKLOADS   comma-separated benchmark subset
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentRunner
+from repro.workloads import WORKLOAD_NAMES
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+    names = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    benchmarks = (
+        tuple(n.strip() for n in names.split(",") if n.strip())
+        if names
+        else WORKLOAD_NAMES
+    )
+    return ExperimentRunner(scale=scale, benchmarks=benchmarks)
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Persist each regenerated table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

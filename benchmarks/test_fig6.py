@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 6 cross-validation (paper: BarrierPoint, ISPASS 2014).
+
+Prints the regenerated table and records it under benchmarks/results/.
+Timing measures the experiment's analysis cost on top of the shared,
+memoized profiling/simulation passes.
+"""
+
+from repro.experiments import fig6_cross_validation as experiment
+
+
+def test_fig6(benchmark, runner, record_table):
+    output = benchmark.pedantic(
+        lambda: experiment.run(runner), rounds=1, iterations=1
+    )
+    assert output.strip()
+    record_table("fig6", output)

@@ -1,0 +1,55 @@
+"""Cross-architecture study: barrierpoints as fixed units of work.
+
+The headline property of BarrierPoint (paper section VI-A3 / Fig. 6):
+barrierpoints selected from one machine's profile transfer to another,
+because barrier-delimited regions are microarchitecture-independent units
+of work.  This example selects barrierpoints at 8 threads, applies them to
+a 32-core machine, and predicts the 8->32 scaling speedup from samples
+alone (Fig. 8's use case).
+
+Run:  python examples/cross_architecture.py
+"""
+
+from repro import BarrierPointPipeline, get_workload, scaled, table1_8core, table1_32core
+from repro.core.crossarch import apply_selection_across
+
+SCALE = 0.5
+BENCHMARK = "npb-cg"  # the paper's super-linear-scaling example
+
+
+def main() -> None:
+    pipe8 = BarrierPointPipeline(scaled(table1_8core()))
+    pipe32 = BarrierPointPipeline(scaled(table1_32core()))
+    w8 = get_workload(BENCHMARK, 8, scale=SCALE)
+    w32 = get_workload(BENCHMARK, 32, scale=SCALE)
+    assert w8.barrier_count == w32.barrier_count  # thread-invariant
+
+    # Select once, on the 8-thread profile.
+    selection = pipe8.select(w8)
+    print(f"{BENCHMARK}: {selection.num_barrierpoints} barrierpoints "
+          f"selected from the 8-thread profile")
+
+    # References at both design points.
+    full8 = pipe8.full_run(w8)
+    full32 = pipe32.full_run(w32)
+
+    # Native evaluation at 8 cores; transferred evaluation at 32 cores.
+    native = pipe8.evaluate_perfect(selection, full8)
+    transferred = apply_selection_across(selection, full32, pipe32)
+    print(f"\n8-core estimate error (native SVs):       "
+          f"{native.runtime_error_pct:.2f}%")
+    print(f"32-core estimate error (transferred SVs): "
+          f"{transferred.runtime_error_pct:.2f}%")
+
+    actual = full8.app.time_seconds / full32.app.time_seconds
+    predicted = (native.estimate.time_seconds
+                 / transferred.estimate.time_seconds)
+    print(f"\n8 -> 32 core speedup: actual {actual:.2f}x, "
+          f"predicted from barrierpoints {predicted:.2f}x")
+    if actual > 4.0:
+        print("super-linear scaling (LLC capacity effect), "
+              "as the paper reports for npb-cg")
+
+
+if __name__ == "__main__":
+    main()

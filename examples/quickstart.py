@@ -1,0 +1,57 @@
+"""Quickstart: sample one benchmark with BarrierPoint, end to end.
+
+Runs the complete methodology on the synthetic npb-ft at 8 threads:
+profile -> cluster -> select barrierpoints -> capture + replay warmup ->
+simulate only the barrierpoints -> reconstruct total execution time, and
+compares the estimate against the full detailed simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BarrierPointPipeline, get_workload, scaled, table1_8core
+from repro.core.speedup import speedup_report
+
+SCALE = 0.5  # workload scale; 1.0 reproduces the reported numbers
+
+
+def main() -> None:
+    workload = get_workload("npb-ft", num_threads=8, scale=SCALE)
+    print(f"workload: {workload.name}, {workload.barrier_count} barriers, "
+          f"{workload.num_threads} threads")
+
+    pipeline = BarrierPointPipeline(scaled(table1_8core()))
+
+    # Stage 1+2: one functional profiling pass, then clustering.
+    selection = pipeline.select(workload)
+    print(f"\nselected {selection.num_barrierpoints} barrierpoints "
+          f"({len(selection.significant_points)} significant) "
+          f"out of {selection.num_regions} regions:")
+    for point in selection.points:
+        marker = "" if point.significant else "  (insignificant)"
+        print(f"  region {point.region_index:3d}  "
+              f"multiplier {point.multiplier:6.2f}  "
+              f"weight {point.weight:6.2%}{marker}")
+
+    # Reference: detailed simulation of the complete benchmark.
+    full = pipeline.full_run(workload)
+    print(f"\nfull detailed simulation: "
+          f"{full.app.time_seconds * 1e3:.3f} ms simulated time, "
+          f"aggregate IPC {full.app.aggregate_ipc:.2f}, "
+          f"DRAM APKI {full.app.dram_apki:.2f}")
+
+    # The methodology: simulate only barrierpoints (after MRU warmup).
+    result = pipeline.evaluate_with_warmup(selection, workload, full, "mru")
+    print(f"BarrierPoint estimate:    "
+          f"{result.estimate.time_seconds * 1e3:.3f} ms "
+          f"(error {result.runtime_error_pct:.2f}%, "
+          f"APKI difference {result.apki_difference:.3f})")
+
+    report = speedup_report(selection, warmup_lines=result.warmup_lines)
+    print(f"\nsimulation speedups (instruction-count proxy):")
+    print(f"  serial   {report.serial_speedup:6.1f}x  "
+          f"(resource reduction {report.resource_reduction:.1f}x)")
+    print(f"  parallel {report.parallel_speedup:6.1f}x")
+
+
+if __name__ == "__main__":
+    main()

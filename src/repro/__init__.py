@@ -1,0 +1,70 @@
+"""repro — a full reproduction of *BarrierPoint: Sampled Simulation of
+Multi-Threaded Applications* (Carlson, Heirman, Van Craeynest, Eeckhout;
+ISPASS 2014).
+
+Public API overview
+-------------------
+
+* :mod:`repro.workloads` — synthetic barrier-structured analogues of the
+  paper's NPB + PARSEC suite (``get_workload``) and a builder for custom
+  workloads.
+* :mod:`repro.sim` — the detailed multi-core simulator (``Machine``).
+* :mod:`repro.profiling` — the functional profiler (BBV / LDV / MRU).
+* :mod:`repro.clustering` — SimPoint-style weighted k-means + BIC.
+* :mod:`repro.core` — the BarrierPoint methodology
+  (``BarrierPointPipeline``).
+* :mod:`repro.config` — Table I machine presets and Table II SimPoint
+  parameters.
+* :mod:`repro.experiments` — regenerators for every figure and table of
+  the paper's evaluation.
+"""
+
+from repro._version import __version__
+from repro.config import (
+    MachineConfig,
+    SimPointConfig,
+    scaled,
+    simpoint_defaults,
+    table1_8core,
+    table1_32core,
+)
+from repro.core import (
+    BarrierPointPipeline,
+    BarrierPointSelection,
+    PipelineResult,
+    SignatureConfig,
+)
+from repro.errors import (
+    ClusteringError,
+    ConfigError,
+    ReconstructionError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.sim import Machine
+from repro.workloads import WORKLOAD_NAMES, Workload, get_workload
+
+__all__ = [
+    "BarrierPointPipeline",
+    "BarrierPointSelection",
+    "ClusteringError",
+    "ConfigError",
+    "Machine",
+    "MachineConfig",
+    "PipelineResult",
+    "ReconstructionError",
+    "ReproError",
+    "SignatureConfig",
+    "SimPointConfig",
+    "SimulationError",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "WorkloadError",
+    "__version__",
+    "get_workload",
+    "scaled",
+    "simpoint_defaults",
+    "table1_8core",
+    "table1_32core",
+]

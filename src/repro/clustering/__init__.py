@@ -1,0 +1,25 @@
+"""SimPoint-style clustering: normalization, projection, k-means, BIC.
+
+Re-implements the pieces of SimPoint 3.2 that BarrierPoint uses
+(section III-B and Table II): L1 normalization of signature vectors,
+random linear projection to 15 dimensions, weighted k-means over region
+signatures with the region's aggregate instruction count as its weight,
+and BIC-based selection of the number of clusters up to ``maxK``.
+"""
+
+from repro.clustering.bic import weighted_bic
+from repro.clustering.kmeans import KMeansResult, weighted_kmeans
+from repro.clustering.normalize import normalize_l1, normalize_rows
+from repro.clustering.projection import random_projection
+from repro.clustering.simpoint import ClusteringResult, SimPointClusterer
+
+__all__ = [
+    "ClusteringResult",
+    "KMeansResult",
+    "SimPointClusterer",
+    "normalize_l1",
+    "normalize_rows",
+    "random_projection",
+    "weighted_bic",
+    "weighted_kmeans",
+]

@@ -1,0 +1,67 @@
+"""Weighted Bayesian Information Criterion for k selection.
+
+Follows the X-means / SimPoint formulation (spherical Gaussians, pooled
+variance), extended to weighted points by treating a region of weight
+``w`` as ``w`` replicated observations.  SimPoint then picks the smallest
+``k`` whose BIC score reaches a threshold fraction (default 0.9) of the
+best score across ``k = 1 .. maxK``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+_ABS_VARIANCE_FLOOR = 1e-18
+#: Variance is floored at this fraction of the data's global variance so
+#: that *perfect* clusterings (exact duplicate regions, common in highly
+#: repetitive barrier workloads) yield a large-but-bounded likelihood.
+#: Past the k where every cluster is pure, BIC then strictly decreases
+#: with k through the parameter penalty, giving the selection rule a knee.
+_REL_VARIANCE_FLOOR = 1e-4
+
+
+def weighted_bic(
+    points: np.ndarray,
+    weights: np.ndarray,
+    labels: np.ndarray,
+    centers: np.ndarray,
+) -> float:
+    """BIC of a weighted clustering (higher is better)."""
+    pts = np.asarray(points, dtype=np.float64)
+    wts = np.asarray(weights, dtype=np.float64)
+    n, d = pts.shape
+    k = centers.shape[0]
+    if labels.shape != (n,) or wts.shape != (n,):
+        raise ClusteringError("labels/weights shape mismatch with points")
+    total_weight = wts.sum()
+    if total_weight <= 0:
+        raise ClusteringError("total weight must be positive")
+
+    global_mean = (pts * wts[:, None]).sum(axis=0) / total_weight
+    global_resid = pts - global_mean
+    global_var = float(
+        (np.einsum("ij,ij->i", global_resid, global_resid) * wts).sum()
+    ) / (total_weight * d)
+    floor = max(global_var * _REL_VARIANCE_FLOOR, _ABS_VARIANCE_FLOOR)
+
+    residual = pts - centers[labels]
+    sq_err = np.einsum("ij,ij->i", residual, residual)
+    pooled = float((sq_err * wts).sum())
+    denominator = max(total_weight - k, 1.0)
+    variance = max(pooled / (denominator * d), floor)
+
+    log_likelihood = 0.0
+    for j in range(k):
+        members = labels == j
+        r_j = float(wts[members].sum())
+        if r_j <= 0:
+            continue
+        log_likelihood += (
+            r_j * np.log(r_j / total_weight)
+            - 0.5 * r_j * d * np.log(2.0 * np.pi * variance)
+            - 0.5 * (r_j - 1.0) * d
+        )
+    num_params = (k - 1) + k * d + 1
+    return float(log_likelihood - 0.5 * num_params * np.log(total_weight))

@@ -1,0 +1,37 @@
+"""Vector normalization for signature construction.
+
+SimPoint normalizes each region's vector to unit L1 mass so clustering
+sees *behaviour* rather than region length; lengths re-enter as k-means
+weights (section III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def normalize_l1(vector: np.ndarray) -> np.ndarray:
+    """Scale a non-negative vector to sum to 1; zero vectors stay zero."""
+    vec = np.asarray(vector, dtype=np.float64)
+    if vec.ndim != 1:
+        raise ClusteringError(f"expected 1-D vector, got shape {vec.shape}")
+    if np.any(vec < 0):
+        raise ClusteringError("signature vectors must be non-negative")
+    total = vec.sum()
+    if total == 0.0:
+        return vec.copy()
+    return vec / total
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise L1 normalization; all-zero rows stay zero."""
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ClusteringError(f"expected 2-D matrix, got shape {mat.shape}")
+    if np.any(mat < 0):
+        raise ClusteringError("signature vectors must be non-negative")
+    totals = mat.sum(axis=1, keepdims=True)
+    safe = np.where(totals == 0.0, 1.0, totals)
+    return mat / safe

@@ -1,0 +1,37 @@
+"""Random linear projection (SimPoint's dimensionality reduction).
+
+Projects the high-dimensional signature matrix onto ``dims`` (Table II: 15)
+random directions.  By the Johnson–Lindenstrauss property, pairwise
+distances — all k-means ever looks at — are approximately preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def random_projection(
+    matrix: np.ndarray, dims: int, seed: int
+) -> np.ndarray:
+    """Project row vectors of ``matrix`` into ``dims`` dimensions.
+
+    The projection matrix has i.i.d. Gaussian entries scaled by
+    ``1/sqrt(dims)`` and is fully determined by ``seed``, so a given
+    signature set always lands in the same projected space.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ClusteringError(f"expected 2-D matrix, got shape {mat.shape}")
+    if dims <= 0:
+        raise ClusteringError(f"dims must be positive, got {dims}")
+    if not np.all(np.isfinite(mat)):
+        raise ClusteringError("signature matrix contains non-finite values")
+    original_dims = mat.shape[1]
+    if original_dims <= dims:
+        # Already low-dimensional; projection would only add noise.
+        return mat.copy()
+    rng = np.random.Generator(np.random.PCG64(seed))
+    proj = rng.standard_normal((original_dims, dims)) / np.sqrt(dims)
+    return mat @ proj

@@ -1,0 +1,143 @@
+"""The SimPoint-equivalent driver: project, sweep k, pick by BIC.
+
+This is the piece the paper invokes as "SimPoint clustering software
+version 3.2" with the Table II parameters; BarrierPoint feeds it one
+signature vector per inter-barrier region plus instruction-count weights
+and receives cluster labels and one representative region per cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.bic import weighted_bic
+from repro.clustering.kmeans import weighted_kmeans
+from repro.clustering.projection import random_projection
+from repro.config import SimPointConfig
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Labels, representatives and model-selection diagnostics."""
+
+    labels: np.ndarray
+    representatives: tuple[int, ...]
+    chosen_k: int
+    bic_by_k: dict[int, float]
+    projected: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        """The selected number of clusters."""
+        return self.chosen_k
+
+    def members_of(self, cluster: int) -> np.ndarray:
+        """Region indices belonging to ``cluster``."""
+        return np.flatnonzero(self.labels == cluster)
+
+
+class SimPointClusterer:
+    """Clusters region signatures per the Table II configuration."""
+
+    def __init__(self, config: SimPointConfig) -> None:
+        self.config = config
+
+    def fit(self, signatures: np.ndarray, weights: np.ndarray) -> ClusteringResult:
+        """Cluster one signature per region, weighted by instructions.
+
+        Sweeps ``k = 1 .. min(maxK, n)``, scores each with weighted BIC and
+        selects the smallest ``k`` whose normalized score reaches the
+        configured threshold (SimPoint's rule).  The representative of each
+        cluster is the member closest to the cluster centroid, ties broken
+        toward the longer region.
+        """
+        sig = np.asarray(signatures, dtype=np.float64)
+        wts = np.asarray(weights, dtype=np.float64)
+        if sig.ndim != 2 or sig.shape[0] == 0:
+            raise ClusteringError(f"bad signature matrix shape {sig.shape}")
+        n = sig.shape[0]
+        if wts.shape != (n,):
+            raise ClusteringError(f"weights shape {wts.shape} != ({n},)")
+
+        cfg = self.config
+        projected = random_projection(sig, cfg.projected_dims, cfg.seed)
+
+        max_k = min(cfg.max_k, n)
+        fits = {}
+        bic_by_k: dict[int, float] = {}
+        for k in range(1, max_k + 1):
+            fit = weighted_kmeans(
+                projected, wts, k,
+                seed=cfg.seed + k,
+                max_iterations=cfg.kmeans_iterations,
+                restarts=cfg.kmeans_restarts,
+            )
+            fits[k] = fit
+            bic_by_k[k] = weighted_bic(projected, wts, fit.labels, fit.centers)
+
+        chosen_k = self._select_k(bic_by_k)
+        best = fits[chosen_k]
+        labels, centers = self._compact(best.labels, best.centers)
+        reps = self._representatives(projected, wts, labels, centers)
+        return ClusteringResult(
+            labels=labels,
+            representatives=reps,
+            chosen_k=centers.shape[0],
+            bic_by_k=bic_by_k,
+            projected=projected,
+            weights=wts,
+        )
+
+    @staticmethod
+    def _compact(
+        labels: np.ndarray, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drop empty clusters (possible with duplicate-heavy data) and
+        renumber labels densely."""
+        used = np.unique(labels)
+        if used.size == centers.shape[0]:
+            return labels, centers
+        remap = {int(old): new for new, old in enumerate(used)}
+        new_labels = np.array([remap[int(l)] for l in labels], dtype=np.int64)
+        return new_labels, centers[used]
+
+    def _select_k(self, bic_by_k: dict[int, float]) -> int:
+        """Smallest k whose normalized BIC clears the threshold."""
+        scores = np.array([bic_by_k[k] for k in sorted(bic_by_k)])
+        ks = sorted(bic_by_k)
+        lo, hi = scores.min(), scores.max()
+        if hi == lo:
+            return ks[0]
+        normalized = (scores - lo) / (hi - lo)
+        for k, score in zip(ks, normalized):
+            if score >= self.config.bic_threshold:
+                return k
+        return ks[-1]  # pragma: no cover - max always reaches 1.0
+
+    @staticmethod
+    def _representatives(
+        points: np.ndarray,
+        weights: np.ndarray,
+        labels: np.ndarray,
+        centers: np.ndarray,
+    ) -> tuple[int, ...]:
+        """Per-cluster representative: nearest to centroid, longest on ties."""
+        reps = []
+        for j in range(centers.shape[0]):
+            members = np.flatnonzero(labels == j)
+            if members.size == 0:
+                raise ClusteringError(
+                    f"cluster {j} is empty"
+                )  # pragma: no cover - kmeans reseeds empties
+            diffs = points[members] - centers[j]
+            dists = np.einsum("ij,ij->i", diffs, diffs)
+            best = dists.min()
+            near = members[dists <= best * (1.0 + 1e-9) + 1e-30]
+            if near.size > 1:
+                near = near[np.argsort(-weights[near], kind="stable")]
+            reps.append(int(near[0]))
+        return tuple(reps)

@@ -1,0 +1,215 @@
+"""Machine and methodology configuration.
+
+:func:`table1_8core` / :func:`table1_32core` reproduce the paper's Table I
+(one and four sockets of an 8-core, 2.66 GHz, 4-wide part with a 3-level
+cache hierarchy).  :func:`scaled` shrinks cache capacities for use with the
+scaled-down synthetic workloads (see DESIGN.md section 2), preserving the
+capacity *ratios* between levels and between the two machines.
+:func:`simpoint_defaults` reproduces Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+CACHE_LINE_BYTES = 64
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    latency_cycles: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0:
+            raise ConfigError("cache size and associativity must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible into "
+                f"{self.associativity}-way sets of {self.line_bytes}B lines"
+            )
+        if not _is_pow2(self.num_sets):
+            raise ConfigError(f"number of sets must be a power of two, got {self.num_sets}")
+
+    @property
+    def num_lines(self) -> int:
+        """Total line capacity of the cache."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Interval-model core parameters (Table I, 'Core' and 'Branch predictor')."""
+
+    frequency_ghz: float = 2.66
+    dispatch_width: int = 4
+    rob_entries: int = 128
+    branch_miss_penalty: int = 8
+    max_outstanding_misses: int = 4
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigError("core frequency must be positive")
+        if self.dispatch_width <= 0:
+            raise ConfigError("dispatch width must be positive")
+        if self.max_outstanding_misses <= 0:
+            raise ConfigError("max outstanding misses must be positive")
+
+
+@dataclass(frozen=True)
+class MemConfig:
+    """Main memory parameters (Table I, 'Main memory')."""
+
+    latency_ns: float = 65.0
+    bandwidth_gbps_per_socket: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ns <= 0 or self.bandwidth_gbps_per_socket <= 0:
+            raise ConfigError("memory latency and bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete simulated machine: sockets of cores plus cache hierarchy."""
+
+    name: str
+    num_sockets: int
+    cores_per_socket: int
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 4, 4)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 8, 4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(256 * 1024, 8, 8)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(8 * 1024 * 1024, 16, 30)
+    )
+    mem: MemConfig = field(default_factory=MemConfig)
+    barrier_hop_cycles: int = 20
+    remote_socket_extra_cycles: int = 60
+
+    def __post_init__(self) -> None:
+        if self.num_sockets <= 0 or self.cores_per_socket <= 0:
+            raise ConfigError("socket and core counts must be positive")
+
+    @property
+    def num_cores(self) -> int:
+        """Total core count across sockets."""
+        return self.num_sockets * self.cores_per_socket
+
+    @property
+    def total_llc_bytes(self) -> int:
+        """Aggregate last-level-cache capacity across sockets (warmup budget)."""
+        return self.l3.size_bytes * self.num_sockets
+
+    @property
+    def dram_latency_cycles(self) -> int:
+        """Main-memory access latency converted to core cycles."""
+        return round(self.mem.latency_ns * self.core.frequency_ghz)
+
+    def socket_of(self, core_id: int) -> int:
+        """Socket index owning ``core_id``."""
+        if not 0 <= core_id < self.num_cores:
+            raise ConfigError(f"core {core_id} out of range [0, {self.num_cores})")
+        return core_id // self.cores_per_socket
+
+
+def table1_8core() -> MachineConfig:
+    """The paper's single-socket, 8-core machine (Table I)."""
+    return MachineConfig(name="table1-8core", num_sockets=1, cores_per_socket=8)
+
+
+def table1_32core() -> MachineConfig:
+    """The paper's four-socket, 32-core machine (Table I)."""
+    return MachineConfig(name="table1-32core", num_sockets=4, cores_per_socket=8)
+
+
+def scaled(
+    base: MachineConfig, factor: int = 16, l3_factor: int | None = None
+) -> MachineConfig:
+    """Shrink every cache in ``base`` by ``factor`` (capacity only).
+
+    Associativities, latencies, core model and DRAM parameters are kept, so
+    hit/miss *ratios* against the scaled synthetic working sets mirror the
+    paper-scale machine against class-A working sets.
+
+    ``l3_factor`` (default ``4 * factor``) shrinks the LLC further: the
+    synthetic regions are shorter relative to their footprints than class-A
+    regions are, so a proportionally smaller LLC keeps streaming phases in
+    the same regime (region length >> LLC) the paper operates in — this is
+    what makes region timing insensitive to inherited cache state, the
+    property the warmup evaluation of section VI-B depends on.
+    """
+    if factor <= 0:
+        raise ConfigError("scale factor must be positive")
+    if l3_factor is None:
+        l3_factor = 4 * factor
+    if l3_factor <= 0:
+        raise ConfigError("l3 scale factor must be positive")
+
+    def shrink(cache: CacheConfig, f: int) -> CacheConfig:
+        new_size = cache.size_bytes // f
+        min_size = cache.associativity * cache.line_bytes
+        if new_size < min_size:
+            new_size = min_size
+        # Round down to a power-of-two set count.
+        sets = new_size // min_size
+        sets = 1 << (sets.bit_length() - 1)
+        return replace(cache, size_bytes=sets * min_size)
+
+    return replace(
+        base,
+        name=f"{base.name}-scaled{factor}",
+        l1i=shrink(base.l1i, factor),
+        l1d=shrink(base.l1d, factor),
+        l2=shrink(base.l2, factor),
+        l3=shrink(base.l3, l3_factor),
+    )
+
+
+@dataclass(frozen=True)
+class SimPointConfig:
+    """Clustering parameters (Table II plus SimPoint 3.2 conventions)."""
+
+    projected_dims: int = 15
+    max_k: int = 20
+    fixed_length: bool = False
+    coverage_pct: float = 1.0
+    bic_threshold: float = 0.9
+    kmeans_iterations: int = 100
+    kmeans_restarts: int = 5
+    seed: int = 493575226
+
+    def __post_init__(self) -> None:
+        if self.projected_dims <= 0:
+            raise ConfigError("projected_dims must be positive")
+        if self.max_k <= 0:
+            raise ConfigError("max_k must be positive")
+        if not 0.0 < self.coverage_pct <= 1.0:
+            raise ConfigError("coverage_pct must be in (0, 1]")
+        if not 0.0 < self.bic_threshold <= 1.0:
+            raise ConfigError("bic_threshold must be in (0, 1]")
+
+
+def simpoint_defaults() -> SimPointConfig:
+    """The paper's Table II settings (-dim 15, -maxK 20, coverage 100%)."""
+    return SimPointConfig()

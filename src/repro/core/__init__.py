@@ -1,0 +1,37 @@
+"""The BarrierPoint methodology (the paper's primary contribution).
+
+Pipeline: profile -> build signature vectors -> cluster -> select
+barrierpoints + multipliers -> (optionally) capture and replay warmup ->
+simulate only the barrierpoints -> reconstruct whole-program metrics.
+"""
+
+from repro.core.pipeline import BarrierPointPipeline, PipelineResult
+from repro.core.reconstruction import reconstruct_app
+from repro.core.region_filter import CoalescedRegions, coalesce_regions
+from repro.core.selection import (
+    BarrierPoint,
+    BarrierPointSelection,
+    select_barrierpoints,
+)
+from repro.core.signatures import (
+    SIGNATURE_VARIANTS,
+    SignatureConfig,
+    build_signature_matrix,
+)
+from repro.core.speedup import SpeedupReport, speedup_report
+
+__all__ = [
+    "BarrierPoint",
+    "BarrierPointPipeline",
+    "BarrierPointSelection",
+    "CoalescedRegions",
+    "PipelineResult",
+    "SIGNATURE_VARIANTS",
+    "SignatureConfig",
+    "SpeedupReport",
+    "build_signature_matrix",
+    "coalesce_regions",
+    "reconstruct_app",
+    "select_barrierpoints",
+    "speedup_report",
+]

@@ -1,0 +1,38 @@
+"""Cross-architecture barrierpoint transfer (section VI-A3, Fig. 6).
+
+Barrierpoints are microarchitecture-independent units of work: a selection
+made from one run's signatures (say, 8 threads) can be applied to a run on
+a different machine (say, 32 cores) because the barrier structure — and
+hence the region indexing — is thread-count-invariant.  Only the
+multipliers are recomputed from the target run's instruction counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import BarrierPointPipeline, PipelineResult
+from repro.core.selection import BarrierPointSelection, reassign_multipliers
+from repro.sim.machine import FullRunResult
+
+
+def apply_selection_across(
+    selection: BarrierPointSelection,
+    target_full: FullRunResult,
+    target_pipeline: BarrierPointPipeline,
+) -> PipelineResult:
+    """Evaluate a source-architecture selection on a target run.
+
+    ``selection`` came from clustering signatures collected at one core
+    count; ``target_full`` is the detailed reference at another.  Returns
+    a perfect-warmup evaluation on the target machine using the source's
+    cluster assignment, with multipliers recomputed from the target's
+    per-region instruction counts.
+    """
+    target_insn = np.array(
+        [float(r.instructions) for r in target_full.regions]
+    )
+    transferred = reassign_multipliers(
+        selection, target_insn, num_threads=target_full.num_threads
+    )
+    return target_pipeline.evaluate_perfect(transferred, target_full)

@@ -1,0 +1,127 @@
+"""Region coalescing — the paper's npb-ua future-work extension.
+
+Section V excludes npb-ua because it "generates a very large number of
+barriers which makes it difficult to analyze ... it might need an
+extension to filter or combine regions before processing by the
+BarrierPoint methodology".  This module is that extension: consecutive
+inter-barrier regions are coalesced into *super-regions* until each
+carries at least a minimum share of the program's instructions, and the
+pipeline then clusters the super-regions instead.
+
+Coalescing preserves everything the methodology needs:
+
+* signatures add — BBVs and LDVs are additive counters, so a
+  super-region's profile is the element-wise sum of its members', and
+* units of work survive — a super-region is itself barrier-delimited
+  (it starts and ends at a barrier), so checkpointing, warmup capture and
+  independent simulation work unchanged, treating the group's regions as
+  one back-to-back unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.profiling.profiler import RegionProfile
+
+
+@dataclass(frozen=True)
+class CoalescedRegions:
+    """Result of coalescing: super-region profiles plus the index map.
+
+    ``groups[i]`` is the tuple of original region indices forming
+    super-region ``i``; ``profiles[i]`` is its summed profile, indexed by
+    super-region number (``region_index`` is the group's *first* original
+    region — the barrier at which its checkpoint would be taken).
+    """
+
+    profiles: list[RegionProfile]
+    groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_super_regions(self) -> int:
+        """Number of super-regions after coalescing."""
+        return len(self.groups)
+
+    def group_of(self, region_index: int) -> int:
+        """Super-region number containing an original region."""
+        for i, group in enumerate(self.groups):
+            if region_index in group:
+                return i
+        raise WorkloadError(f"region {region_index} not covered by any group")
+
+
+def _merge(profiles: list[RegionProfile]) -> RegionProfile:
+    first = profiles[0]
+    if len(profiles) == 1:
+        return first
+    bbv = first.bbv.copy()
+    ldv = first.ldv.copy()
+    per_thread = np.asarray(first.per_thread_instructions, dtype=np.int64)
+    instructions = first.instructions
+    for p in profiles[1:]:
+        bbv += p.bbv
+        ldv += p.ldv
+        per_thread = per_thread + np.asarray(
+            p.per_thread_instructions, dtype=np.int64)
+        instructions += p.instructions
+    return RegionProfile(
+        region_index=first.region_index,
+        phase=f"{first.phase}+{len(profiles) - 1}",
+        instructions=instructions,
+        per_thread_instructions=tuple(int(v) for v in per_thread),
+        bbv=bbv,
+        ldv=ldv,
+    )
+
+
+def coalesce_regions(
+    profiles: list[RegionProfile],
+    min_weight: float = 1e-4,
+    max_group: int | None = None,
+) -> CoalescedRegions:
+    """Greedily merge consecutive regions below ``min_weight``.
+
+    A new super-region is closed as soon as its accumulated instruction
+    count reaches ``min_weight`` x total instructions (or ``max_group``
+    members).  Regions already above the threshold pass through untouched,
+    so well-behaved workloads are unaffected and only pathological
+    many-tiny-barrier programs (npb-ua) get compressed.
+    """
+    if not profiles:
+        raise WorkloadError("no profiles to coalesce")
+    if not 0.0 < min_weight < 1.0:
+        raise WorkloadError(f"min_weight must be in (0, 1), got {min_weight}")
+    indices = [p.region_index for p in profiles]
+    if indices != list(range(len(profiles))):
+        raise WorkloadError("profiles must cover regions 0..n-1 in order")
+
+    total = float(sum(p.instructions for p in profiles))
+    threshold = total * min_weight
+    merged: list[RegionProfile] = []
+    groups: list[tuple[int, ...]] = []
+    pending: list[RegionProfile] = []
+    pending_insn = 0.0
+    for profile in profiles:
+        pending.append(profile)
+        pending_insn += profile.instructions
+        full = max_group is not None and len(pending) >= max_group
+        if pending_insn >= threshold or full:
+            merged.append(_merge(pending))
+            groups.append(tuple(p.region_index for p in pending))
+            pending = []
+            pending_insn = 0.0
+    if pending:
+        # Tail underflow: fold into the previous super-region if any.
+        if merged:
+            last_group = groups.pop()
+            last_members = [profiles[i] for i in last_group] + pending
+            merged[-1] = _merge(last_members)
+            groups.append(tuple(p.region_index for p in last_members))
+        else:
+            merged.append(_merge(pending))
+            groups.append(tuple(p.region_index for p in pending))
+    return CoalescedRegions(profiles=merged, groups=tuple(groups))

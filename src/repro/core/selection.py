@@ -1,0 +1,178 @@
+"""Barrierpoint selection and multipliers (sections III-B and III-D).
+
+After clustering, each cluster is represented by one region — the
+barrierpoint.  Its *multiplier* is the cluster's aggregate instruction
+count divided by the representative's own instruction count, so that
+
+    sum_{i in cluster j} insn_i  =  insn_j * mult_j .
+
+Barrierpoints contributing less than 0.1% of total instructions are
+classified *insignificant* (Table III) and may be skipped in detailed
+simulation with negligible error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.simpoint import ClusteringResult
+from repro.errors import ReconstructionError
+
+SIGNIFICANCE_THRESHOLD = 1e-3  # 0.1% of total instructions (Table III)
+
+
+@dataclass(frozen=True)
+class BarrierPoint:
+    """One selected representative inter-barrier region."""
+
+    region_index: int
+    cluster: int
+    multiplier: float
+    weight: float  # cluster's fraction of total instructions
+    instructions: int  # representative region's own aggregate instructions
+
+    @property
+    def significant(self) -> bool:
+        """True when the cluster carries at least 0.1% of instructions."""
+        return self.weight >= SIGNIFICANCE_THRESHOLD
+
+
+@dataclass(frozen=True)
+class BarrierPointSelection:
+    """The complete output of the selection stage for one application run."""
+
+    workload_name: str
+    num_threads: int
+    signature_label: str
+    num_regions: int
+    total_instructions: float
+    points: tuple[BarrierPoint, ...]
+    labels: np.ndarray  # cluster id per region
+
+    @property
+    def significant_points(self) -> tuple[BarrierPoint, ...]:
+        """Barrierpoints above the 0.1% significance threshold."""
+        return tuple(p for p in self.points if p.significant)
+
+    @property
+    def insignificant_points(self) -> tuple[BarrierPoint, ...]:
+        """Barrierpoints below the significance threshold."""
+        return tuple(p for p in self.points if not p.significant)
+
+    @property
+    def num_barrierpoints(self) -> int:
+        """Number of selected representatives (clusters)."""
+        return len(self.points)
+
+    @property
+    def selected_regions(self) -> tuple[int, ...]:
+        """Region indices of all barrierpoints, ascending."""
+        return tuple(sorted(p.region_index for p in self.points))
+
+    def point_for_region(self, region_index: int) -> BarrierPoint:
+        """The barrierpoint representing ``region_index``'s cluster."""
+        cluster = int(self.labels[region_index])
+        for p in self.points:
+            if p.cluster == cluster:
+                return p
+        raise ReconstructionError(
+            f"no barrierpoint for cluster {cluster}"
+        )  # pragma: no cover - selection always covers all clusters
+
+    def coverage_of(self, points: tuple[BarrierPoint, ...]) -> float:
+        """Fraction of total instructions represented by ``points``."""
+        return sum(p.weight for p in points)
+
+
+def select_barrierpoints(
+    clustering: ClusteringResult,
+    region_instructions: np.ndarray,
+    workload_name: str,
+    num_threads: int,
+    signature_label: str,
+) -> BarrierPointSelection:
+    """Turn a clustering into barrierpoints with multipliers.
+
+    ``region_instructions`` holds each region's aggregate instruction
+    count (the clustering weights, unprojected).
+    """
+    insn = np.asarray(region_instructions, dtype=np.float64)
+    n = insn.shape[0]
+    if clustering.labels.shape != (n,):
+        raise ReconstructionError(
+            f"labels cover {clustering.labels.shape[0]} regions, expected {n}"
+        )
+    if np.any(insn <= 0):
+        raise ReconstructionError("region instruction counts must be positive")
+    total = float(insn.sum())
+    points = []
+    for cluster, rep in enumerate(clustering.representatives):
+        members = clustering.members_of(cluster)
+        cluster_insn = float(insn[members].sum())
+        rep_insn = float(insn[rep])
+        points.append(
+            BarrierPoint(
+                region_index=int(rep),
+                cluster=cluster,
+                multiplier=cluster_insn / rep_insn,
+                weight=cluster_insn / total,
+                instructions=int(insn[rep]),
+            )
+        )
+    return BarrierPointSelection(
+        workload_name=workload_name,
+        num_threads=num_threads,
+        signature_label=signature_label,
+        num_regions=n,
+        total_instructions=total,
+        points=tuple(sorted(points, key=lambda p: p.region_index)),
+        labels=clustering.labels.copy(),
+    )
+
+
+def reassign_multipliers(
+    selection: BarrierPointSelection,
+    target_instructions: np.ndarray,
+    num_threads: int,
+) -> BarrierPointSelection:
+    """Recompute multipliers against another run's instruction counts.
+
+    This is the cross-architecture application of Fig. 6: the cluster
+    *assignment* (which regions are equivalent) transfers across core
+    counts because regions are fixed units of work; only the instruction
+    totals — and hence multipliers — are re-derived on the target run.
+    """
+    insn = np.asarray(target_instructions, dtype=np.float64)
+    if insn.shape[0] != selection.num_regions:
+        raise ReconstructionError(
+            f"target run has {insn.shape[0]} regions, selection has "
+            f"{selection.num_regions} (barrier count must be thread-invariant)"
+        )
+    if np.any(insn <= 0):
+        raise ReconstructionError("region instruction counts must be positive")
+    total = float(insn.sum())
+    points = []
+    for p in selection.points:
+        members = np.flatnonzero(selection.labels == p.cluster)
+        cluster_insn = float(insn[members].sum())
+        rep_insn = float(insn[p.region_index])
+        points.append(
+            BarrierPoint(
+                region_index=p.region_index,
+                cluster=p.cluster,
+                multiplier=cluster_insn / rep_insn,
+                weight=cluster_insn / total,
+                instructions=int(insn[p.region_index]),
+            )
+        )
+    return BarrierPointSelection(
+        workload_name=selection.workload_name,
+        num_threads=num_threads,
+        signature_label=selection.signature_label,
+        num_regions=selection.num_regions,
+        total_instructions=total,
+        points=tuple(points),
+        labels=selection.labels.copy(),
+    )

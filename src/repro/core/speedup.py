@@ -1,0 +1,72 @@
+"""Simulation speedup and machine-resource accounting (section VI-D).
+
+The paper uses aggregate instruction count as the proxy for simulation
+work.  For a selection:
+
+* serial speedup   = total instructions / sum of barrierpoint instructions
+  ("back-to-back execution of barrierpoints" — the reduction in required
+  simulation *resources*),
+* parallel speedup = total instructions / max barrierpoint instructions
+  (all barrierpoints simulated concurrently — the latency reduction),
+* resource reduction = number of regions / number of barrierpoints
+  (machines needed vs simulating every inter-barrier region in parallel,
+  the comparison against Bryan et al.).
+
+Warmup replay work can optionally be charged at one instruction-equivalent
+per replayed line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection import BarrierPointSelection
+from repro.errors import ReconstructionError
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Speedup/resource numbers for one (workload, core count) selection."""
+
+    workload_name: str
+    num_threads: int
+    serial_speedup: float
+    parallel_speedup: float
+    resource_reduction: float
+    num_regions: int
+    num_barrierpoints: int
+
+
+def speedup_report(
+    selection: BarrierPointSelection,
+    warmup_lines: dict[int, int] | None = None,
+    significant_only: bool = False,
+) -> SpeedupReport:
+    """Compute the Fig. 9 quantities for one selection.
+
+    ``warmup_lines`` maps barrierpoint region index to the number of
+    replayed warmup lines, charged as one instruction-equivalent each;
+    ``significant_only`` drops sub-0.1% barrierpoints (how one would run
+    in practice).
+    """
+    points = (
+        selection.significant_points if significant_only else selection.points
+    )
+    if not points:
+        raise ReconstructionError("selection has no barrierpoints to account")
+    costs = []
+    for p in points:
+        cost = float(p.instructions)
+        if warmup_lines is not None:
+            cost += float(warmup_lines.get(p.region_index, 0))
+        costs.append(cost)
+    total = selection.total_instructions
+    return SpeedupReport(
+        workload_name=selection.workload_name,
+        num_threads=selection.num_threads,
+        serial_speedup=total / sum(costs),
+        parallel_speedup=total / max(costs),
+        resource_reduction=selection.num_regions / len(points),
+        num_regions=selection.num_regions,
+        num_barrierpoints=len(points),
+    )

@@ -1,0 +1,6 @@
+"""Core timing models: statistical branch predictor + interval core."""
+
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.interval import IntervalCore
+
+__all__ = ["BranchPredictor", "IntervalCore"]

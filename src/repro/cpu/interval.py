@@ -1,0 +1,45 @@
+"""Interval-style superscalar core timing model.
+
+This is the modelling approach of the paper's own simulator (Sniper): a
+core dispatches ``width`` instructions per cycle in the absence of miss
+events, and miss events (branch mispredictions, cache misses) insert stall
+intervals.  Memory stalls arrive pre-aggregated from the hierarchy, already
+scaled by the block's memory-level parallelism; instruction-fetch stalls
+are charged unscaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CoreConfig
+from repro.cpu.branch import BranchPredictor
+from repro.trace.program import BlockExec
+
+
+@dataclass
+class IntervalCore:
+    """Timing state for one simulated core."""
+
+    config: CoreConfig
+    branch: BranchPredictor = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.branch = BranchPredictor(self.config)
+        self.instructions_retired = 0
+        self.cycles_busy = 0.0
+
+    def block_cycles(self, exec_: BlockExec, mem_stall: float, fetch_stall: float) -> float:
+        """Cycles to execute one :class:`BlockExec` given its memory stalls."""
+        dispatch = exec_.instructions / self.config.dispatch_width
+        branch = self.branch.penalty_cycles(exec_.block, exec_.count)
+        cycles = dispatch + branch + mem_stall + fetch_stall
+        self.instructions_retired += exec_.instructions
+        self.cycles_busy += cycles
+        return cycles
+
+    def reset(self) -> None:
+        """Clear retirement counters (a fresh simulation context)."""
+        self.instructions_retired = 0
+        self.cycles_busy = 0.0
+        self.branch.mispredictions = 0.0

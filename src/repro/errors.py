@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one type at an API boundary while still being able to discriminate
+between configuration problems, workload problems and simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A machine, SimPoint or pipeline configuration is inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A workload was mis-specified or asked for an out-of-range region."""
+
+
+class SimulationError(ReproError):
+    """The detailed simulator was driven into an invalid state."""
+
+
+class ClusteringError(ReproError):
+    """Clustering inputs are degenerate (empty, mismatched, non-finite)."""
+
+
+class ReconstructionError(ReproError):
+    """Whole-program reconstruction received inconsistent inputs."""

@@ -1,0 +1,15 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Each ``figN_*`` / ``table3_*`` module exposes two functions:
+
+* ``compute(runner)`` — produce the experiment's data rows, and
+* ``render(data)`` — format them as the paper-style ASCII table,
+
+plus a ``run(runner)`` convenience that does both.  ``python -m
+repro.experiments`` executes the full battery and prints everything;
+``benchmarks/`` wraps each module in a pytest-benchmark.
+"""
+
+from repro.experiments.common import ExperimentRunner
+
+__all__ = ["ExperimentRunner"]

@@ -1,0 +1,151 @@
+"""Shared infrastructure for the experiment harness.
+
+The expensive artifacts — functional profiles and full detailed runs per
+(benchmark, core count) — are computed once and memoized on the runner, so
+regenerating all nine figures/tables costs two full passes per benchmark
+configuration, exactly like the paper's own evaluation protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import (
+    MachineConfig,
+    SimPointConfig,
+    scaled,
+    simpoint_defaults,
+    table1_8core,
+    table1_32core,
+)
+from repro.core.pipeline import BarrierPointPipeline, PipelineResult
+from repro.core.selection import BarrierPointSelection
+from repro.core.signatures import SIGNATURE_VARIANTS, SignatureConfig
+from repro.errors import ConfigError
+from repro.profiling.profiler import RegionProfile
+from repro.sim.machine import FullRunResult
+from repro.workloads import WORKLOAD_NAMES, Workload, get_workload
+
+CORE_COUNTS = (8, 32)
+
+
+def experiment_machine(num_threads: int) -> MachineConfig:
+    """The evaluation machine for a core count (scaled Table I config)."""
+    if num_threads == 8:
+        return scaled(table1_8core())
+    if num_threads == 32:
+        return scaled(table1_32core())
+    raise ConfigError(f"evaluation uses 8 or 32 cores, not {num_threads}")
+
+
+@dataclass
+class ExperimentRunner:
+    """Memoizing driver for all experiments.
+
+    ``scale`` shrinks workloads uniformly (1.0 = the calibrated default
+    used for all reported numbers; tests use smaller values for speed).
+    ``benchmarks`` defaults to the paper's full suite.
+    """
+
+    scale: float = 1.0
+    benchmarks: tuple[str, ...] = WORKLOAD_NAMES
+    simpoint: SimPointConfig = field(default_factory=simpoint_defaults)
+    _workloads: dict = field(default_factory=dict, repr=False)
+    _profiles: dict = field(default_factory=dict, repr=False)
+    _fulls: dict = field(default_factory=dict, repr=False)
+    _selections: dict = field(default_factory=dict, repr=False)
+    _warmups: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Cached building blocks
+    # ------------------------------------------------------------------
+
+    def workload(self, name: str, num_threads: int) -> Workload:
+        """Workload instance (cached)."""
+        key = (name, num_threads)
+        if key not in self._workloads:
+            self._workloads[key] = get_workload(name, num_threads, self.scale)
+        return self._workloads[key]
+
+    def pipeline(
+        self, num_threads: int, signature: SignatureConfig | None = None,
+        simpoint: SimPointConfig | None = None,
+    ) -> BarrierPointPipeline:
+        """A pipeline bound to the evaluation machine for ``num_threads``."""
+        return BarrierPointPipeline(
+            experiment_machine(num_threads),
+            signature=signature,
+            simpoint=simpoint or self.simpoint,
+        )
+
+    def profiles(self, name: str, num_threads: int) -> list[RegionProfile]:
+        """Functional profiles (one expensive pass, cached)."""
+        key = (name, num_threads)
+        if key not in self._profiles:
+            pipe = self.pipeline(num_threads)
+            self._profiles[key] = pipe.profile(self.workload(name, num_threads))
+        return self._profiles[key]
+
+    def full(self, name: str, num_threads: int) -> FullRunResult:
+        """Full detailed reference run (one expensive pass, cached)."""
+        key = (name, num_threads)
+        if key not in self._fulls:
+            pipe = self.pipeline(num_threads)
+            self._fulls[key] = pipe.full_run(self.workload(name, num_threads))
+        return self._fulls[key]
+
+    def selection(
+        self,
+        name: str,
+        num_threads: int,
+        variant: str = "combine",
+        max_k: int | None = None,
+    ) -> BarrierPointSelection:
+        """Barrierpoint selection for a signature variant (cached)."""
+        key = (name, num_threads, variant, max_k)
+        if key not in self._selections:
+            signature = SIGNATURE_VARIANTS[variant]
+            simpoint = self.simpoint
+            if max_k is not None:
+                from dataclasses import replace
+
+                simpoint = replace(simpoint, max_k=max_k)
+            pipe = self.pipeline(num_threads, signature, simpoint)
+            self._selections[key] = pipe.select(
+                self.workload(name, num_threads),
+                self.profiles(name, num_threads),
+            )
+        return self._selections[key]
+
+    # ------------------------------------------------------------------
+    # Evaluations
+    # ------------------------------------------------------------------
+
+    def evaluate_perfect(
+        self,
+        name: str,
+        num_threads: int,
+        variant: str = "combine",
+        max_k: int | None = None,
+        scaling: bool = True,
+    ) -> PipelineResult:
+        """Perfect-warmup evaluation (section VI-A protocol)."""
+        sel = self.selection(name, num_threads, variant, max_k)
+        pipe = self.pipeline(num_threads, SIGNATURE_VARIANTS[variant])
+        return pipe.evaluate_perfect(sel, self.full(name, num_threads), scaling)
+
+    def evaluate_warmup(
+        self, name: str, num_threads: int, warmup_kind: str = "mru"
+    ) -> PipelineResult:
+        """Independent barrierpoint simulation with warmup (Fig. 7); cached."""
+        key = (name, num_threads, warmup_kind)
+        if key not in self._warmups:
+            sel = self.selection(name, num_threads)
+            pipe = self.pipeline(num_threads)
+            self._warmups[key] = pipe.evaluate_with_warmup(
+                sel,
+                self.workload(name, num_threads),
+                self.full(name, num_threads),
+                warmup_kind,
+            )
+        return self._warmups[key]

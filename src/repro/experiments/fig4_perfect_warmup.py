@@ -1,0 +1,75 @@
+"""Fig. 4 — runtime % error and DRAM APKI difference, perfect warmup.
+
+Evaluates barrierpoint *selection* quality in isolation (section VI-A):
+barrierpoint metrics come from the full detailed run, so reconstruction is
+the only error source.  Also computes the §VI-A scaling ablation (errors
+without instruction-count multipliers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import paper_data
+from repro.experiments.common import CORE_COUNTS, ExperimentRunner
+from repro.util.tables import format_table
+
+
+def compute(runner: ExperimentRunner) -> dict:
+    """Per (benchmark, cores) errors plus suite aggregates."""
+    rows = []
+    for name in runner.benchmarks:
+        for nt in CORE_COUNTS:
+            result = runner.evaluate_perfect(name, nt)
+            ablation = runner.evaluate_perfect(name, nt, scaling=False)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "cores": nt,
+                    "runtime_error_pct": result.runtime_error_pct,
+                    "apki_diff": result.apki_difference,
+                    "no_scaling_error_pct": ablation.runtime_error_pct,
+                }
+            )
+    errors = [r["runtime_error_pct"] for r in rows]
+    apki = [r["apki_diff"] for r in rows]
+    noscale = [r["no_scaling_error_pct"] for r in rows]
+    return {
+        "rows": rows,
+        "avg_error": float(np.mean(errors)),
+        "max_error": float(np.max(errors)),
+        "avg_apki": float(np.mean(apki)),
+        "max_apki": float(np.max(apki)),
+        "avg_no_scaling": float(np.mean(noscale)),
+    }
+
+
+def render(data: dict) -> str:
+    """Both panels of Fig. 4 plus the scaling ablation."""
+    table = format_table(
+        ["benchmark", "cores", "abs runtime % error", "abs DRAM APKI diff",
+         "% error w/o scaling"],
+        [
+            [r["benchmark"], r["cores"], f"{r['runtime_error_pct']:.2f}",
+             f"{r['apki_diff']:.3f}", f"{r['no_scaling_error_pct']:.1f}"]
+            for r in data["rows"]
+        ],
+        title="Fig. 4 — BarrierPoint accuracy with perfect warmup",
+    )
+    summary = (
+        f"\navg runtime error: {data['avg_error']:.2f}% "
+        f"(paper: {paper_data.PERFECT_AVG_RUNTIME_ERROR_PCT}%)"
+        f"\nmax runtime error: {data['max_error']:.2f}% "
+        f"(paper: {paper_data.PERFECT_MAX_RUNTIME_ERROR_PCT}%)"
+        f"\navg APKI diff: {data['avg_apki']:.3f} "
+        f"(paper: {paper_data.PERFECT_AVG_APKI_DIFF})"
+        f"\navg error without multiplier scaling: "
+        f"{data['avg_no_scaling']:.1f}% "
+        f"(paper: {paper_data.NO_SCALING_AVG_ERROR_PCT}%)"
+    )
+    return table + summary
+
+
+def run(runner: ExperimentRunner) -> str:
+    """Compute and render."""
+    return render(compute(runner))

@@ -1,0 +1,59 @@
+"""Fig. 6 — barrierpoint cross-validation across core counts.
+
+Barrierpoints chosen from the 8-thread run's signatures are applied to the
+32-core reference and vice versa (multipliers recomputed on the target, as
+the fixed-unit-of-work property allows).  Similar errors in all four cells
+demonstrate transferability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.crossarch import apply_selection_across
+from repro.experiments.common import CORE_COUNTS, ExperimentRunner
+from repro.util.tables import format_table
+
+
+def compute(runner: ExperimentRunner) -> list[dict]:
+    """One row per benchmark with all four (target, source) errors."""
+    rows = []
+    for name in runner.benchmarks:
+        cells = {}
+        for target in CORE_COUNTS:
+            full = runner.full(name, target)
+            pipe = runner.pipeline(target)
+            for source in CORE_COUNTS:
+                selection = runner.selection(name, source)
+                result = apply_selection_across(selection, full, pipe)
+                cells[(target, source)] = result.runtime_error_pct
+        rows.append({"benchmark": name, "cells": cells})
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    """Four bars per benchmark, as in the figure."""
+    table = format_table(
+        ["benchmark", "8c w/ 8c SVs", "8c w/ 32c SVs",
+         "32c w/ 8c SVs", "32c w/ 32c SVs"],
+        [
+            [r["benchmark"],
+             f"{r['cells'][(8, 8)]:.2f}", f"{r['cells'][(8, 32)]:.2f}",
+             f"{r['cells'][(32, 8)]:.2f}", f"{r['cells'][(32, 32)]:.2f}"]
+            for r in rows
+        ],
+        title="Fig. 6 — cross-validation: abs runtime % error by SV source",
+    )
+    native = [r["cells"][(t, t)] for r in rows for t in CORE_COUNTS]
+    crossed = [r["cells"][(t, s)] for r in rows
+               for t in CORE_COUNTS for s in CORE_COUNTS if t != s]
+    summary = (
+        f"\navg error, native SVs: {np.mean(native):.2f}%"
+        f"\navg error, transferred SVs: {np.mean(crossed):.2f}%"
+    )
+    return table + summary
+
+
+def run(runner: ExperimentRunner) -> str:
+    """Compute and render."""
+    return render(compute(runner))

@@ -1,0 +1,70 @@
+"""Fig. 7 — accuracy with the MRU replay warmup technique.
+
+Unlike Fig. 4, every barrierpoint is simulated *independently*, from a
+fresh machine warmed by replaying the captured most-recently-used lines
+(section IV).  The error therefore combines selection and warmup effects.
+A cold-start ablation is included for contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import paper_data
+from repro.experiments.common import CORE_COUNTS, ExperimentRunner
+from repro.util.tables import format_table
+
+
+def compute(runner: ExperimentRunner) -> dict:
+    """Per (benchmark, cores) warmup errors plus aggregates."""
+    rows = []
+    for name in runner.benchmarks:
+        for nt in CORE_COUNTS:
+            mru = runner.evaluate_warmup(name, nt, "mru")
+            cold = runner.evaluate_warmup(name, nt, "cold")
+            rows.append(
+                {
+                    "benchmark": name,
+                    "cores": nt,
+                    "runtime_error_pct": mru.runtime_error_pct,
+                    "apki_diff": mru.apki_difference,
+                    "cold_error_pct": cold.runtime_error_pct,
+                }
+            )
+    errors = [r["runtime_error_pct"] for r in rows]
+    cold_errors = [r["cold_error_pct"] for r in rows]
+    return {
+        "rows": rows,
+        "avg_error": float(np.mean(errors)),
+        "max_error": float(np.max(errors)),
+        "avg_apki": float(np.mean([r["apki_diff"] for r in rows])),
+        "avg_cold_error": float(np.mean(cold_errors)),
+    }
+
+
+def render(data: dict) -> str:
+    """Both panels of Fig. 7 plus the cold-start ablation."""
+    table = format_table(
+        ["benchmark", "cores", "abs runtime % error", "abs DRAM APKI diff",
+         "% error cold start"],
+        [
+            [r["benchmark"], r["cores"], f"{r['runtime_error_pct']:.2f}",
+             f"{r['apki_diff']:.3f}", f"{r['cold_error_pct']:.2f}"]
+            for r in data["rows"]
+        ],
+        title="Fig. 7 — BarrierPoint accuracy with MRU replay warmup",
+    )
+    summary = (
+        f"\navg runtime error: {data['avg_error']:.2f}% "
+        f"(paper: {paper_data.WARMUP_AVG_RUNTIME_ERROR_PCT}%)"
+        f"\nmax runtime error: {data['max_error']:.2f}% "
+        f"(paper: {paper_data.WARMUP_MAX_RUNTIME_ERROR_PCT}%)"
+        f"\navg error with cold start (no warmup): "
+        f"{data['avg_cold_error']:.2f}%"
+    )
+    return table + summary
+
+
+def run(runner: ExperimentRunner) -> str:
+    """Compute and render."""
+    return render(compute(runner))

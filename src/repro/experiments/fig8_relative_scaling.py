@@ -1,0 +1,58 @@
+"""Fig. 8 — relative scaling: predicting the 8- vs 32-core speedup.
+
+Architects mostly care about *relative* accuracy between design points.
+Actual speedup = full-run time ratio; predicted = ratio of the
+BarrierPoint-reconstructed times.  The paper notes three super-linear
+benchmarks, npb-cg most prominently (LLC capacity effects).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import ExperimentRunner
+from repro.util.tables import format_table
+
+
+def compute(runner: ExperimentRunner) -> list[dict]:
+    """Actual vs predicted 8->32 speedup per benchmark."""
+    rows = []
+    for name in runner.benchmarks:
+        t8 = runner.full(name, 8).app.time_seconds
+        t32 = runner.full(name, 32).app.time_seconds
+        p8 = runner.evaluate_perfect(name, 8).estimate.time_seconds
+        p32 = runner.evaluate_perfect(name, 32).estimate.time_seconds
+        rows.append(
+            {
+                "benchmark": name,
+                "actual": t8 / t32,
+                "predicted": p8 / p32,
+            }
+        )
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    """Speedup bars plus the super-linearity observation."""
+    table = format_table(
+        ["benchmark", "actual speedup", "predicted speedup", "pred/actual"],
+        [
+            [r["benchmark"], f"{r['actual']:.2f}", f"{r['predicted']:.2f}",
+             f"{r['predicted'] / r['actual']:.3f}"]
+            for r in rows
+        ],
+        title="Fig. 8 — 8-core vs 32-core speedup, actual vs predicted",
+    )
+    superlinear = [r["benchmark"] for r in rows if r["actual"] > 4.0]
+    most = max(rows, key=lambda r: r["actual"])["benchmark"]
+    summary = (
+        f"\nsuper-linear (> 4x) benchmarks: {superlinear} "
+        f"(paper: {paper_data.SUPERLINEAR_COUNT}, most notable "
+        f"{paper_data.MOST_SUPERLINEAR})"
+        f"\nmost super-linear here: {most}"
+    )
+    return table + summary
+
+
+def run(runner: ExperimentRunner) -> str:
+    """Compute and render."""
+    return render(compute(runner))

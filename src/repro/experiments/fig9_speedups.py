@@ -1,0 +1,81 @@
+"""Fig. 9 — simulation speedups: serial (resources) and parallel (latency).
+
+Speedups use aggregate instruction count as the simulation-work proxy, as
+in section VI-D: serial = total / sum over barrierpoints, parallel =
+total / max barrierpoint.  The machine-resource reduction versus
+simulating every inter-barrier region (Bryan et al.) is reported alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.speedup import speedup_report
+from repro.experiments import paper_data
+from repro.experiments.common import CORE_COUNTS, ExperimentRunner
+from repro.util.stats import harmonic_mean
+from repro.util.tables import format_table
+
+
+def compute(runner: ExperimentRunner) -> dict:
+    """Speedup report per (benchmark, cores) plus suite aggregates."""
+    rows = []
+    for name in runner.benchmarks:
+        for nt in CORE_COUNTS:
+            selection = runner.selection(name, nt)
+            mru = runner.evaluate_warmup(name, nt, "mru")
+            report = speedup_report(selection, warmup_lines=mru.warmup_lines)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "cores": nt,
+                    "serial": report.serial_speedup,
+                    "parallel": report.parallel_speedup,
+                    "resource_reduction": report.resource_reduction,
+                    "num_barrierpoints": report.num_barrierpoints,
+                    "num_regions": report.num_regions,
+                }
+            )
+    parallel = [r["parallel"] for r in rows]
+    return {
+        "rows": rows,
+        "hmean_parallel": harmonic_mean(parallel),
+        "max_parallel": float(np.max(parallel)),
+        "min_parallel": float(np.min(parallel)),
+        "avg_resource_reduction": float(
+            np.mean([r["resource_reduction"] for r in rows])
+        ),
+    }
+
+
+def render(data: dict) -> str:
+    """Per-benchmark bars plus the headline aggregates."""
+    table = format_table(
+        ["benchmark", "cores", "serial speedup", "parallel speedup",
+         "resource reduction", "barrierpoints / regions"],
+        [
+            [r["benchmark"], r["cores"], f"{r['serial']:.1f}",
+             f"{r['parallel']:.1f}", f"{r['resource_reduction']:.1f}",
+             f"{r['num_barrierpoints']} / {r['num_regions']}"]
+            for r in data["rows"]
+        ],
+        title="Fig. 9 — simulation speedups (instruction-count proxy, "
+              "including warmup replay cost)",
+    )
+    summary = (
+        f"\nharmonic-mean parallel speedup: {data['hmean_parallel']:.1f}x "
+        f"(paper: {paper_data.HMEAN_PARALLEL_SPEEDUP}x)"
+        f"\nmax parallel speedup: {data['max_parallel']:.1f}x "
+        f"(paper: {paper_data.MAX_PARALLEL_SPEEDUP}x)"
+        f"\nmin parallel speedup: {data['min_parallel']:.1f}x "
+        f"(paper: {paper_data.MIN_PARALLEL_SPEEDUP}x)"
+        f"\navg machine-resource reduction: "
+        f"{data['avg_resource_reduction']:.1f}x "
+        f"(paper: {paper_data.AVG_RESOURCE_REDUCTION}x)"
+    )
+    return table + summary
+
+
+def run(runner: ExperimentRunner) -> str:
+    """Compute and render."""
+    return render(compute(runner))

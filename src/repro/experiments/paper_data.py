@@ -1,0 +1,68 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Values are transcribed from the ISPASS 2014 text and Table III.  Where the
+paper only shows a bar chart (Figs. 4-9) the stated aggregates are stored;
+our harness compares *shapes* (who wins, orderings, thresholds), not exact
+bar heights, since the substrate differs (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+#: Fig. 1 / Table III: dynamic barrier counts (thread-count invariant).
+BARRIER_COUNTS: dict[str, int] = {
+    "parsec-bodytrack": 89,
+    "npb-bt": 1001,
+    "npb-cg": 46,
+    "npb-ft": 34,
+    "npb-is": 11,
+    "npb-lu": 503,
+    "npb-mg": 245,
+    "npb-sp": 3601,
+}
+
+#: Table III: number of significant barrierpoints per (benchmark, cores).
+SIGNIFICANT_BARRIERPOINTS: dict[tuple[str, int], int] = {
+    ("npb-bt", 8): 11, ("npb-bt", 32): 11,
+    ("npb-cg", 8): 3, ("npb-cg", 32): 3,
+    ("npb-ft", 8): 9, ("npb-ft", 32): 9,
+    ("npb-is", 8): 10, ("npb-is", 32): 10,
+    ("npb-lu", 8): 7, ("npb-lu", 32): 2,
+    ("npb-mg", 8): 8, ("npb-mg", 32): 10,
+    ("npb-sp", 8): 16, ("npb-sp", 32): 12,
+    ("parsec-bodytrack", 8): 13, ("parsec-bodytrack", 32): 7,
+}
+
+#: Section VI-A / Fig. 4: perfect-warmup accuracy aggregates.
+PERFECT_AVG_RUNTIME_ERROR_PCT = 0.6
+PERFECT_MAX_RUNTIME_ERROR_PCT = 2.8
+PERFECT_AVG_APKI_DIFF = 0.1
+PERFECT_MAX_APKI_DIFF = 0.6
+
+#: Section VI-B / Fig. 7: accuracy including the MRU warmup technique.
+WARMUP_AVG_RUNTIME_ERROR_PCT = 0.9
+WARMUP_MAX_RUNTIME_ERROR_PCT = 2.9
+
+#: Section VI-A: error without multiplier scaling (the ablation).
+NO_SCALING_AVG_ERROR_PCT = 19.4
+
+#: Section VI-D / Fig. 9 aggregates.
+HMEAN_PARALLEL_SPEEDUP = 24.7
+MAX_PARALLEL_SPEEDUP = 866.6
+MIN_PARALLEL_SPEEDUP = 10.0
+AVG_RESOURCE_REDUCTION = 78.0
+
+#: Fig. 8: benchmarks with super-linear 8->32 speedup; cg most notable.
+SUPERLINEAR_COUNT = 3
+MOST_SUPERLINEAR = "npb-cg"
+
+#: Fig. 5: the winning signature/clustering configuration.
+BEST_VARIANT = "combine"
+BEST_MAX_K = 20
+
+#: Table II parameters (for display).
+SIMPOINT_PARAMETERS = {
+    "-dim": 15,
+    "-maxK": 20,
+    "-fixedLength": "off",
+    "-coveragePct": 1.0,
+}

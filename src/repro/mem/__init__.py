@@ -1,0 +1,15 @@
+"""Memory-system substrate: caches, MSI directory, DRAM, full hierarchy."""
+
+from repro.mem.cache import CacheStats, SetAssocCache
+from repro.mem.directory import Directory
+from repro.mem.dram import Dram
+from repro.mem.hierarchy import AccessCounters, MemoryHierarchy
+
+__all__ = [
+    "AccessCounters",
+    "CacheStats",
+    "Directory",
+    "Dram",
+    "MemoryHierarchy",
+    "SetAssocCache",
+]

@@ -1,0 +1,147 @@
+"""Set-associative LRU cache model.
+
+Each set is a Python list ordered least- to most-recently used.  Lines are
+cache-line addresses (already divided by the 64-byte line size).  The model
+tracks presence and dirtiness only — data values never matter to timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction; 0.0 when no accesses were made."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.evictions = 0
+        self.dirty_evictions = self.invalidations = 0
+
+
+@dataclass
+class _EvictedLine:
+    """An evicted line and whether it was dirty."""
+
+    line: int
+    dirty: bool
+
+
+@dataclass
+class SetAssocCache:
+    """LRU set-associative cache of line addresses.
+
+    The per-set order lists hold clean lines as ``line`` and dirty lines
+    are tracked in a side set, so hit paths stay one list operation.
+    """
+
+    config: CacheConfig
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._num_sets = self.config.num_sets
+        self._set_mask = self._num_sets - 1
+        self._assoc = self.config.associativity
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self._dirty: set[int] = set()
+
+    @property
+    def latency(self) -> int:
+        """Access latency in core cycles (from the config)."""
+        return self.config.latency_cycles
+
+    def lookup(self, line: int) -> bool:
+        """Probe for ``line``; on hit, promote to MRU. Updates stats."""
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            # Move to MRU position (end of list).
+            s.remove(line)
+            s.append(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence check without LRU update or stats."""
+        return line in self._sets[line & self._set_mask]
+
+    def fill(self, line: int, dirty: bool = False) -> _EvictedLine | None:
+        """Insert ``line`` at MRU; return the victim if one was evicted."""
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            s.remove(line)
+            s.append(line)
+            if dirty:
+                self._dirty.add(line)
+            return None
+        victim = None
+        if len(s) >= self._assoc:
+            old = s.pop(0)
+            was_dirty = old in self._dirty
+            if was_dirty:
+                self._dirty.discard(old)
+                self.stats.dirty_evictions += 1
+            self.stats.evictions += 1
+            victim = _EvictedLine(old, was_dirty)
+        s.append(line)
+        if dirty:
+            self._dirty.add(line)
+        return victim
+
+    def mark_dirty(self, line: int) -> None:
+        """Flag a resident line as modified (no-op if absent)."""
+        if self.contains(line):
+            self._dirty.add(line)
+
+    def is_dirty(self, line: int) -> bool:
+        """True if the line is resident and modified."""
+        return line in self._dirty
+
+    def remove(self, line: int) -> bool:
+        """Invalidate ``line`` (coherence); returns True if it was present."""
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            s.remove(line)
+            self._dirty.discard(line)
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop all contents (counters preserved)."""
+        for s in self._sets:
+            s.clear()
+        self._dirty.clear()
+
+    def resident_lines(self) -> list[int]:
+        """All resident lines, set by set, LRU to MRU within a set."""
+        out: list[int] = []
+        for s in self._sets:
+            out.extend(s)
+        return out
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)

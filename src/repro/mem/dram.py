@@ -1,0 +1,70 @@
+"""Main-memory model: fixed access latency plus per-socket bandwidth.
+
+Latency is charged per access by the hierarchy; bandwidth is enforced at
+region granularity by the machine model, which stretches a region's
+duration if the aggregate DRAM traffic of any socket would exceed the
+socket's sustained bandwidth (Table I: 65 ns, 8 GB/s per socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CACHE_LINE_BYTES, MachineConfig
+
+
+@dataclass
+class DramStats:
+    """Per-socket DRAM traffic counters (lines, not bytes)."""
+
+    reads_per_socket: list[int] = field(default_factory=list)
+    writebacks_per_socket: list[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        for i in range(len(self.reads_per_socket)):
+            self.reads_per_socket[i] = 0
+            self.writebacks_per_socket[i] = 0
+
+
+@dataclass
+class Dram:
+    """DRAM latency/bandwidth model shared by all sockets."""
+
+    machine: MachineConfig
+
+    def __post_init__(self) -> None:
+        n = self.machine.num_sockets
+        self.stats = DramStats([0] * n, [0] * n)
+        self.latency_cycles = self.machine.dram_latency_cycles
+
+    def read(self, socket: int) -> int:
+        """Record a line fetch from DRAM; returns the latency in cycles."""
+        self.stats.reads_per_socket[socket] += 1
+        return self.latency_cycles
+
+    def writeback(self, socket: int) -> None:
+        """Record a dirty line written back to DRAM (bandwidth only)."""
+        self.stats.writebacks_per_socket[socket] += 1
+
+    def total_accesses(self) -> int:
+        """All DRAM line transfers (reads plus writebacks)."""
+        return sum(self.stats.reads_per_socket) + sum(self.stats.writebacks_per_socket)
+
+    def min_cycles_for_traffic(
+        self, reads: list[int], writebacks: list[int]
+    ) -> float:
+        """Minimum region duration (cycles) the bandwidth allows.
+
+        ``reads``/``writebacks`` are per-socket line counts for the region.
+        The constraint is evaluated per socket and the tightest one wins.
+        """
+        bytes_per_cycle = (
+            self.machine.mem.bandwidth_gbps_per_socket
+            / self.machine.core.frequency_ghz
+        )
+        worst = 0.0
+        for r, w in zip(reads, writebacks):
+            traffic_bytes = (r + w) * CACHE_LINE_BYTES
+            worst = max(worst, traffic_bytes / bytes_per_cycle)
+        return worst

@@ -1,0 +1,373 @@
+"""Three-level cache hierarchy with MSI coherence and DRAM backing.
+
+Topology (Table I): per-core private L1-I/L1-D/L2, one shared L3 per
+socket, a directory over private caches, and DRAM behind the L3s.  The
+hierarchy is *inclusive at L3*: an L3 eviction invalidates the line in the
+socket's private caches, which is what lets the directory live logically at
+the L3 and keeps coherence state reconstructible by data replay alone (the
+property the paper's warmup scheme depends on).
+
+Dirtiness is tracked at the L3/directory level (private caches are modeled
+write-through to L3 for accounting); store *timing* is still charged at the
+core via the interval model, and DRAM writeback bandwidth is charged when a
+modified line leaves an L3 or is downgraded by a remote reader.
+
+``access_block`` is the hot path: it processes a whole reference stream of
+one :class:`~repro.trace.program.BlockExec` with locals bound outside the
+loop.  Keep it free of per-access allocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.mem.cache import SetAssocCache
+from repro.mem.directory import Directory
+from repro.mem.dram import Dram
+
+_STORE_STALL_FRACTION = 0.3  # store misses retire through the store buffer
+
+
+class AccessCounters:
+    """Aggregate access/miss counters snapshot (see ``MemoryHierarchy.snapshot``)."""
+
+    __slots__ = (
+        "loads", "stores", "l1d_misses", "l2_misses", "l3_misses",
+        "cache_to_cache", "writebacks", "l1i_misses",
+        "dram_reads_per_socket", "dram_writebacks_per_socket",
+    )
+
+    def __init__(
+        self,
+        loads: int = 0,
+        stores: int = 0,
+        l1d_misses: int = 0,
+        l2_misses: int = 0,
+        l3_misses: int = 0,
+        cache_to_cache: int = 0,
+        writebacks: int = 0,
+        l1i_misses: int = 0,
+        dram_reads_per_socket: tuple[int, ...] = (),
+        dram_writebacks_per_socket: tuple[int, ...] = (),
+    ) -> None:
+        self.loads = loads
+        self.stores = stores
+        self.l1d_misses = l1d_misses
+        self.l2_misses = l2_misses
+        self.l3_misses = l3_misses
+        self.cache_to_cache = cache_to_cache
+        self.writebacks = writebacks
+        self.l1i_misses = l1i_misses
+        self.dram_reads_per_socket = dram_reads_per_socket
+        self.dram_writebacks_per_socket = dram_writebacks_per_socket
+
+    @property
+    def accesses(self) -> int:
+        """Total data references (loads + stores)."""
+        return self.loads + self.stores
+
+    @property
+    def dram_accesses(self) -> int:
+        """Line transfers on the DRAM bus (fills + writebacks)."""
+        return self.l3_misses + self.writebacks
+
+    def delta(self, earlier: AccessCounters) -> AccessCounters:
+        """Counter difference ``self - earlier`` (for per-region metrics)."""
+        return AccessCounters(
+            loads=self.loads - earlier.loads,
+            stores=self.stores - earlier.stores,
+            l1d_misses=self.l1d_misses - earlier.l1d_misses,
+            l2_misses=self.l2_misses - earlier.l2_misses,
+            l3_misses=self.l3_misses - earlier.l3_misses,
+            cache_to_cache=self.cache_to_cache - earlier.cache_to_cache,
+            writebacks=self.writebacks - earlier.writebacks,
+            l1i_misses=self.l1i_misses - earlier.l1i_misses,
+            dram_reads_per_socket=tuple(
+                a - b for a, b in zip(
+                    self.dram_reads_per_socket, earlier.dram_reads_per_socket)
+            ),
+            dram_writebacks_per_socket=tuple(
+                a - b for a, b in zip(
+                    self.dram_writebacks_per_socket,
+                    earlier.dram_writebacks_per_socket)
+            ),
+        )
+
+
+class MemoryHierarchy:
+    """Caches + directory + DRAM for one simulated machine."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        n_cores = machine.num_cores
+        self.l1i = [SetAssocCache(machine.l1i) for _ in range(n_cores)]
+        self.l1d = [SetAssocCache(machine.l1d) for _ in range(n_cores)]
+        self.l2 = [SetAssocCache(machine.l2) for _ in range(n_cores)]
+        self.l3 = [SetAssocCache(machine.l3) for _ in range(machine.num_sockets)]
+        self.directory = Directory(num_cores=n_cores)
+        self.dram = Dram(machine)
+        self._socket_of = [machine.socket_of(c) for c in range(n_cores)]
+        self._cores_of_socket = [
+            [c for c in range(n_cores) if self._socket_of[c] == s]
+            for s in range(machine.num_sockets)
+        ]
+        self._socket_mask = [
+            sum(1 << c for c in cores) for cores in self._cores_of_socket
+        ]
+        self._loads = 0
+        self._stores = 0
+        self._l1d_misses = 0
+        self._l2_misses = 0
+        self._c2c = 0
+        self._writebacks = 0
+        self._l1i_misses = 0
+
+    # ------------------------------------------------------------------
+    # Counter management
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> AccessCounters:
+        """Copy all cumulative counters (cheap; used per region)."""
+        return AccessCounters(
+            loads=self._loads,
+            stores=self._stores,
+            l1d_misses=self._l1d_misses,
+            l2_misses=self._l2_misses,
+            l3_misses=sum(self.dram.stats.reads_per_socket),
+            cache_to_cache=self._c2c,
+            writebacks=self._writebacks,
+            l1i_misses=self._l1i_misses,
+            dram_reads_per_socket=tuple(self.dram.stats.reads_per_socket),
+            dram_writebacks_per_socket=tuple(self.dram.stats.writebacks_per_socket),
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _l3_fill(self, socket: int, line: int) -> None:
+        """Fill ``line`` into a socket's L3, handling inclusive eviction."""
+        victim = self.l3[socket].fill(line)
+        if victim is None:
+            return
+        vline = victim.line
+        dir_sharers = self.directory._sharers
+        dir_owner = self.directory._owner
+        owner = dir_owner.get(vline, -1)
+        if owner >= 0 and self._socket_of[owner] == socket:
+            self.dram.writeback(socket)
+            self._writebacks += 1
+            del dir_owner[vline]
+        # Inclusion: purge the victim from this socket's private caches.
+        # The directory sharer mask tells us which cores can possibly hold
+        # it, so streaming victims (one sharer) cost one probe, not 2*cores.
+        mask = dir_sharers.get(vline, 0)
+        if mask:
+            local = mask & self._socket_mask[socket]
+            core = 0
+            while local:
+                if local & 1:
+                    self.l1d[core].remove(vline)
+                    self.l2[core].remove(vline)
+                local >>= 1
+                core += 1
+            rest = mask & ~self._socket_mask[socket]
+            if rest:
+                dir_sharers[vline] = rest
+            else:
+                del dir_sharers[vline]
+
+    def _invalidate_remote(self, line: int, mask: int, my_socket: int) -> bool:
+        """Remove ``line`` from all cores in ``mask``; True if any was remote."""
+        remote = False
+        core = 0
+        while mask:
+            if mask & 1:
+                self.l1d[core].remove(line)
+                self.l2[core].remove(line)
+                if self._socket_of[core] != my_socket:
+                    remote = True
+            mask >>= 1
+            core += 1
+        return remote
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, line: int, is_write: bool) -> int:
+        """One data reference; returns the extra latency beyond L1 (cycles)."""
+        lines = np.array([line], dtype=np.int64)
+        writes = np.array([is_write], dtype=bool)
+        return round(self.access_block(core, lines, writes, mlp=1.0))
+
+    def access_block(self, core, lines, writes, mlp: float) -> float:
+        """Process one block's reference stream; returns stall cycles.
+
+        The returned stalls are the sum of beyond-L1 latencies divided by
+        the block's memory-level parallelism (interval-model style); store
+        latencies are further scaled by the store-buffer fraction.
+        """
+        if mlp < 1.0:
+            raise SimulationError(f"mlp must be >= 1, got {mlp}")
+        socket = self._socket_of[core]
+        l1 = self.l1d[core]
+        l2 = self.l2[core]
+        l3 = self.l3[socket]
+        l1_sets = l1._sets
+        l1_mask = l1._set_mask
+        l1_assoc = l1._assoc
+        l2_sets = l2._sets
+        l2_mask = l2._set_mask
+        l2_assoc = l2._assoc
+        l2_lat = l2.config.latency_cycles
+        l3_lat = l3.config.latency_cycles
+        dram_lat = self.dram.latency_cycles
+        remote_lat = l3_lat + self.machine.remote_socket_extra_cycles
+        directory = self.directory
+        dir_sharers = directory._sharers
+        dir_owner = directory._owner
+        dir_stats = directory.stats
+        my_bit = 1 << core
+        num_sockets = self.machine.num_sockets
+        dram_reads = self.dram.stats.reads_per_socket
+
+        loads = stores = l1d_misses = l2_misses = c2c = 0
+        stall = 0.0
+
+        for line, w in zip(lines.tolist(), writes.tolist()):
+            extra = 0
+            if w:
+                stores += 1
+                prev_owner = dir_owner.get(line, -1)
+                if prev_owner != core:
+                    mask = dir_sharers.get(line, 0) & ~my_bit
+                    if mask or prev_owner >= 0:
+                        if mask:
+                            dir_stats.invalidations_sent += bin(mask).count("1")
+                            remote = self._invalidate_remote(line, mask, socket)
+                        else:
+                            remote = False
+                        if prev_owner >= 0:
+                            # Remote M copy: transfer + writeback on downgrade.
+                            self.dram.writeback(self._socket_of[prev_owner])
+                            self._writebacks += 1
+                            remote = remote or self._socket_of[prev_owner] != socket
+                            c2c += 1
+                        if num_sockets > 1:
+                            l3s = self.l3
+                            for s in range(num_sockets):
+                                if s != socket:
+                                    l3s[s].remove(line)
+                        extra = remote_lat if remote else l3_lat
+                    dir_sharers[line] = my_bit
+                    dir_owner[line] = core
+            else:
+                loads += 1
+
+            # L1D probe.
+            s = l1_sets[line & l1_mask]
+            if line in s:
+                s.remove(line)
+                s.append(line)
+                l1.stats.hits += 1
+                if w and extra:
+                    stall += extra * _STORE_STALL_FRACTION
+                continue
+            l1.stats.misses += 1
+            l1d_misses += 1
+
+            # L2 probe.
+            s2 = l2_sets[line & l2_mask]
+            if line in s2:
+                s2.remove(line)
+                s2.append(line)
+                l2.stats.hits += 1
+                extra += l2_lat
+            else:
+                l2.stats.misses += 1
+                l2_misses += 1
+                # L3 probe.
+                if l3.lookup(line):
+                    extra += l3_lat
+                else:
+                    owner = dir_owner.get(line, -1)
+                    if owner >= 0 and owner != core:
+                        # Dirty in a remote private hierarchy: cache-to-cache
+                        # transfer plus MSI downgrade writeback.
+                        extra += (
+                            remote_lat
+                            if self._socket_of[owner] != socket
+                            else l3_lat + l2_lat
+                        )
+                        if not w:
+                            del dir_owner[line]
+                            dir_stats.downgrades += 1
+                            self.dram.writeback(self._socket_of[owner])
+                            self._writebacks += 1
+                        dir_stats.cache_to_cache += 1
+                        c2c += 1
+                    else:
+                        extra += dram_lat
+                        dram_reads[socket] += 1
+                    self._l3_fill(socket, line)
+                # Fill L2.
+                if len(s2) >= l2_assoc:
+                    s2.pop(0)
+                    l2.stats.evictions += 1
+                s2.append(line)
+
+            # Fill L1.
+            if len(s) >= l1_assoc:
+                s.pop(0)
+                l1.stats.evictions += 1
+            s.append(line)
+
+            if not w:
+                dir_sharers[line] = dir_sharers.get(line, 0) | my_bit
+                prev_owner = dir_owner.get(line, -1)
+                if prev_owner >= 0 and prev_owner != core:
+                    del dir_owner[line]
+                    dir_stats.downgrades += 1
+                stall += extra
+            else:
+                stall += extra * _STORE_STALL_FRACTION
+
+        self._loads += loads
+        self._stores += stores
+        self._l1d_misses += l1d_misses
+        self._l2_misses += l2_misses
+        self._c2c += c2c
+        return stall / mlp
+
+    def access_code(self, core: int, code_lines: tuple[int, ...]) -> int:
+        """Instruction-fetch touch of a block's code lines; returns stalls."""
+        l1i = self.l1i[core]
+        extra = 0
+        for line in code_lines:
+            if not l1i.lookup(line):
+                self._l1i_misses += 1
+                l1i.fill(line)
+                extra += self.l2[core].config.latency_cycles
+        return extra
+
+    # ------------------------------------------------------------------
+    # Warmup / state management
+    # ------------------------------------------------------------------
+
+    def replay(self, core: int, line: int, was_write: bool) -> None:
+        """Warmup replay of one captured line (latency discarded)."""
+        self.access_block(
+            core,
+            np.array([line], dtype=np.int64),
+            np.array([was_write], dtype=bool),
+            mlp=1.0,
+        )
+
+    def flush_all(self) -> None:
+        """Cold-start: empty every cache and the directory."""
+        for cache in (*self.l1i, *self.l1d, *self.l2, *self.l3):
+            cache.flush()
+        self.directory.flush()

@@ -1,0 +1,21 @@
+"""Functional profiling: the library's stand-in for the paper's Pintool.
+
+Collects, per inter-barrier region and per thread, the two
+microarchitecture-independent signatures of section III-A — Basic Block
+Vectors and LRU stack-distance vectors — plus the most-recently-used line
+capture that feeds the warmup technique of section IV.
+"""
+
+from repro.profiling.bbv import collect_region_bbv
+from repro.profiling.ldv import LruStackProfiler, NUM_LDV_BUCKETS
+from repro.profiling.mru import MRUTracker
+from repro.profiling.profiler import FunctionalProfiler, RegionProfile
+
+__all__ = [
+    "FunctionalProfiler",
+    "LruStackProfiler",
+    "MRUTracker",
+    "NUM_LDV_BUCKETS",
+    "RegionProfile",
+    "collect_region_bbv",
+]

@@ -1,0 +1,33 @@
+"""Basic Block Vector collection (section III-A1).
+
+A BBV has one entry per static basic block holding the number of
+*instructions* contributed by that block during the region (SimPoint
+convention: execution count times block size), collected per thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.program import RegionTrace
+
+
+def collect_region_bbv(trace: RegionTrace, num_static_blocks: int) -> np.ndarray:
+    """Per-thread BBVs of one region, shape ``(threads, num_static_blocks)``.
+
+    Raises if the trace references a block id outside the static program,
+    which would indicate the trace and the workload disagree.
+    """
+    out = np.zeros((trace.num_threads, num_static_blocks), dtype=np.float64)
+    for thread in trace.threads:
+        row = out[thread.thread_id]
+        for exec_ in thread.blocks:
+            bb_id = exec_.block.bb_id
+            if bb_id >= num_static_blocks:
+                raise WorkloadError(
+                    f"block id {bb_id} out of range for "
+                    f"{num_static_blocks} static blocks"
+                )
+            row[bb_id] += exec_.instructions
+    return out

@@ -1,0 +1,125 @@
+"""The functional profiler: one pass, all signatures.
+
+This plays the role of the paper's Pin tool: it "runs" the application at
+functional speed (here: walking the deterministic traces), maintaining one
+persistent LRU stack per thread and emitting, per inter-barrier region,
+the per-thread BBVs and LDVs that the clustering consumes.
+
+A second, cheaper pass (:meth:`FunctionalProfiler.capture_warmup`) re-walks
+the trace maintaining only per-core MRU state and snapshots it at the
+entry of each selected barrierpoint — mirroring the paper's dedicated
+warmup-capture run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.profiling.bbv import collect_region_bbv
+from repro.profiling.ldv import NUM_LDV_BUCKETS, LruStackProfiler
+from repro.profiling.mru import MRUTracker
+from repro.sim.warmup import MRUWarmupData
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Signatures and sizes of one inter-barrier region.
+
+    ``bbv`` has shape ``(threads, static_blocks)`` and counts instructions
+    per block; ``ldv`` has shape ``(threads, NUM_LDV_BUCKETS)`` and counts
+    accesses per power-of-two stack-distance bin.
+    """
+
+    region_index: int
+    phase: str
+    instructions: int
+    per_thread_instructions: tuple[int, ...]
+    bbv: np.ndarray
+    ldv: np.ndarray
+
+    @property
+    def num_threads(self) -> int:
+        """Thread count the profile was collected with."""
+        return self.bbv.shape[0]
+
+
+class FunctionalProfiler:
+    """Collects :class:`RegionProfile` s for a whole workload."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+
+    def profile(self) -> list[RegionProfile]:
+        """One functional pass over every region, in program order.
+
+        LRU stacks persist across regions (the paper's Pintool behaviour),
+        so first-touch iterations exhibit cold-dominated LDVs while later,
+        code-identical iterations show finite reuse distances.
+        """
+        workload = self.workload
+        num_blocks = workload.num_static_blocks
+        stacks = [LruStackProfiler() for _ in range(workload.num_threads)]
+        profiles: list[RegionProfile] = []
+        for trace in workload.iter_regions():
+            bbv = collect_region_bbv(trace, num_blocks)
+            ldv = np.zeros(
+                (workload.num_threads, NUM_LDV_BUCKETS), dtype=np.float64
+            )
+            for thread in trace.threads:
+                stack = stacks[thread.thread_id]
+                for exec_ in thread.blocks:
+                    if exec_.lines.size:
+                        stack.observe(exec_.lines)
+                ldv[thread.thread_id] = stack.take_histogram()
+            profiles.append(
+                RegionProfile(
+                    region_index=trace.region_index,
+                    phase=trace.phase,
+                    instructions=trace.instructions,
+                    per_thread_instructions=tuple(
+                        t.instructions for t in trace.threads
+                    ),
+                    bbv=bbv,
+                    ldv=ldv,
+                )
+            )
+        return profiles
+
+    def capture_warmup(
+        self, barrierpoint_regions: set[int], llc_capacity_lines: int
+    ) -> dict[int, MRUWarmupData]:
+        """Second pass: snapshot MRU state at each selected barrierpoint.
+
+        ``llc_capacity_lines`` should be the *largest* shared-LLC line count
+        of any machine that will simulate the barrierpoints (section IV:
+        one capture serves all configurations).
+        """
+        workload = self.workload
+        if not barrierpoint_regions:
+            return {}
+        bad = {
+            r for r in barrierpoint_regions
+            if not 0 <= r < workload.num_regions
+        }
+        if bad:
+            raise WorkloadError(f"barrierpoint regions out of range: {sorted(bad)}")
+        tracker = MRUTracker(workload.num_threads, llc_capacity_lines)
+        snapshots: dict[int, MRUWarmupData] = {}
+        last_needed = max(barrierpoint_regions)
+        for trace in workload.iter_regions():
+            idx = trace.region_index
+            if idx in barrierpoint_regions:
+                snapshots[idx] = tracker.snapshot(idx)
+            if idx >= last_needed:
+                break
+            for thread in trace.threads:
+                for exec_ in thread.blocks:
+                    if exec_.lines.size:
+                        tracker.observe(
+                            thread.thread_id, exec_.lines, exec_.writes
+                        )
+        return snapshots

@@ -1,0 +1,23 @@
+"""Multi-core detailed simulator: machine model, metrics, warmup."""
+
+from repro.sim.barrier import barrier_cost_cycles
+from repro.sim.machine import FullRunResult, Machine
+from repro.sim.results import AppMetrics, RegionMetrics
+from repro.sim.warmup import (
+    ColdWarmup,
+    MRUWarmup,
+    MRUWarmupData,
+    WarmupStrategy,
+)
+
+__all__ = [
+    "AppMetrics",
+    "ColdWarmup",
+    "FullRunResult",
+    "MRUWarmup",
+    "MRUWarmupData",
+    "Machine",
+    "RegionMetrics",
+    "WarmupStrategy",
+    "barrier_cost_cycles",
+]

@@ -1,0 +1,28 @@
+"""Barrier synchronization cost model.
+
+We model the passive OpenMP wait policy used in the paper (waiting threads
+consume no CPU): threads that arrive early simply idle until the last
+arrival, and the barrier release itself costs a logarithmic combining-tree
+latency on top.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import MachineConfig
+
+
+def barrier_cost_cycles(machine: MachineConfig, num_threads: int) -> float:
+    """Release latency of one global barrier across ``num_threads``.
+
+    A combining tree performs ``ceil(log2(n))`` hop rounds; with multiple
+    sockets the final round crosses the interconnect.
+    """
+    if num_threads <= 1:
+        return 0.0
+    rounds = math.ceil(math.log2(num_threads))
+    cost = rounds * machine.barrier_hop_cycles
+    if machine.num_sockets > 1:
+        cost += machine.remote_socket_extra_cycles
+    return float(cost)

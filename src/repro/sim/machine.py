@@ -1,0 +1,176 @@
+"""The multi-core machine simulator.
+
+A :class:`Machine` couples interval cores to a :class:`MemoryHierarchy`
+and simulates inter-barrier regions: threads are interleaved at basic-block
+granularity in simulated-time order (a priority queue keyed on per-thread
+clocks), so shared-cache mixing and coherence interactions happen in a
+plausible global order while remaining deterministic.
+
+Region duration is the slowest thread's clock (passive barrier wait) plus
+the barrier release cost, stretched if the region's DRAM traffic would
+exceed any socket's sustained bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.config import MachineConfig
+from repro.cpu.interval import IntervalCore
+from repro.errors import SimulationError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.barrier import barrier_cost_cycles
+from repro.sim.results import AppMetrics, RegionMetrics
+from repro.sim.warmup import WarmupStrategy
+from repro.trace.program import RegionTrace
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class FullRunResult:
+    """Outcome of simulating every region of an application in order."""
+
+    workload_name: str
+    num_threads: int
+    machine_name: str
+    regions: tuple[RegionMetrics, ...]
+
+    @property
+    def app(self) -> AppMetrics:
+        """Aggregate application metrics."""
+        return AppMetrics.from_regions(list(self.regions))
+
+    def region(self, index: int) -> RegionMetrics:
+        """Metrics of one region by original region index."""
+        found = self.regions[index]
+        if found.region_index != index:
+            raise SimulationError(
+                f"region list out of order at {index}"
+            )  # pragma: no cover - guarded by construction
+        return found
+
+
+class Machine:
+    """A simulated shared-memory machine (Table I parameters)."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        self.cores = [IntervalCore(config.core) for _ in range(config.num_cores)]
+
+    def reset(self) -> None:
+        """Return to a cold, just-booted state."""
+        self.hierarchy = MemoryHierarchy(self.config)
+        for core in self.cores:
+            core.reset()
+
+    # ------------------------------------------------------------------
+    # Region simulation
+    # ------------------------------------------------------------------
+
+    def simulate_region(self, trace: RegionTrace) -> RegionMetrics:
+        """Simulate one inter-barrier region from the *current* state."""
+        num_threads = trace.num_threads
+        if num_threads > self.config.num_cores:
+            raise SimulationError(
+                f"trace has {num_threads} threads but machine "
+                f"{self.config.name!r} has {self.config.num_cores} cores"
+            )
+        hierarchy = self.hierarchy
+        cores = self.cores
+        before = hierarchy.snapshot()
+
+        clocks = [0.0] * num_threads
+        # (clock, thread, next-block-index); thread id breaks ties so the
+        # interleaving is deterministic.
+        heap: list[tuple[float, int, int]] = []
+        for tid in range(num_threads):
+            if trace.threads[tid].blocks:
+                heap.append((0.0, tid, 0))
+        heapq.heapify(heap)
+
+        while heap:
+            clock, tid, idx = heapq.heappop(heap)
+            thread = trace.threads[tid]
+            exec_ = thread.blocks[idx]
+            block = exec_.block
+            fetch_stall = hierarchy.access_code(tid, block.code_lines)
+            mem_stall = hierarchy.access_block(
+                tid, exec_.lines, exec_.writes, block.mlp
+            )
+            clock += cores[tid].block_cycles(exec_, mem_stall, fetch_stall)
+            clocks[tid] = clock
+            if idx + 1 < len(thread.blocks):
+                heapq.heappush(heap, (clock, tid, idx + 1))
+
+        duration = max(clocks) if clocks else 0.0
+        if duration <= 0.0:
+            raise SimulationError(
+                f"region {trace.region_index} produced no work"
+            )
+
+        counters = hierarchy.snapshot().delta(before)
+        bw_floor = hierarchy.dram.min_cycles_for_traffic(
+            list(counters.dram_reads_per_socket),
+            list(counters.dram_writebacks_per_socket),
+        )
+        bandwidth_limited = bw_floor > duration
+        if bandwidth_limited:
+            duration = bw_floor
+        barrier_cycles = barrier_cost_cycles(self.config, num_threads)
+
+        return RegionMetrics(
+            region_index=trace.region_index,
+            phase=trace.phase,
+            instructions=trace.instructions,
+            cycles=duration + barrier_cycles,
+            per_thread_cycles=tuple(clocks),
+            counters=counters,
+            barrier_cycles=barrier_cycles,
+            bandwidth_limited=bandwidth_limited,
+            frequency_ghz=self.config.core.frequency_ghz,
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-program and sampled entry points
+    # ------------------------------------------------------------------
+
+    def run_full(self, workload: Workload) -> FullRunResult:
+        """Cold-start, then simulate every region in program order.
+
+        This is the reference ("detailed simulation of the complete
+        benchmark") against which BarrierPoint's estimates are scored.
+        """
+        self.reset()
+        regions = tuple(
+            self.simulate_region(trace) for trace in workload.iter_regions()
+        )
+        return FullRunResult(
+            workload_name=workload.name,
+            num_threads=workload.num_threads,
+            machine_name=self.config.name,
+            regions=regions,
+        )
+
+    def simulate_barrierpoint(
+        self,
+        workload: Workload,
+        region_index: int,
+        warmup: WarmupStrategy,
+    ) -> RegionMetrics:
+        """Simulate one barrierpoint independently, after ``warmup``.
+
+        The hierarchy is prepared by the warmup strategy (checkpoint-style:
+        no functional simulation of the preceding program), then the single
+        region is simulated and its metrics returned.
+        """
+        warmup.prepare(self.hierarchy, region_index)
+        trace = workload.region_trace(region_index)
+        if getattr(warmup, "warm_code", False):
+            for thread in trace.threads:
+                for exec_ in thread.blocks:
+                    self.hierarchy.access_code(
+                        thread.thread_id, exec_.block.code_lines
+                    )
+        return self.simulate_region(trace)

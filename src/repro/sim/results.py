@@ -1,0 +1,100 @@
+"""Simulation result records: per-region and whole-application metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.mem.hierarchy import AccessCounters
+
+
+@dataclass(frozen=True)
+class RegionMetrics:
+    """Detailed-simulation outcome of one inter-barrier region.
+
+    ``cycles`` is the region's wall-clock duration (max over threads, plus
+    barrier release, stretched to the DRAM bandwidth bound if needed);
+    per-instruction metrics derived from it are the quantities BarrierPoint
+    assumes constant within a cluster (section III-D).
+    """
+
+    region_index: int
+    phase: str
+    instructions: int
+    cycles: float
+    per_thread_cycles: tuple[float, ...]
+    counters: AccessCounters
+    barrier_cycles: float
+    bandwidth_limited: bool
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise SimulationError(
+                f"region {self.region_index}: non-positive instruction count"
+            )
+        if self.cycles <= 0:
+            raise SimulationError(f"region {self.region_index}: non-positive cycles")
+
+    @property
+    def time_seconds(self) -> float:
+        """Region duration in seconds at the configured core frequency."""
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Whole-machine IPC: all instructions over region duration."""
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        """Aggregate cycles per instruction (reciprocal of IPC)."""
+        return self.cycles / self.instructions
+
+    @property
+    def dram_apki(self) -> float:
+        """DRAM accesses per kilo-instruction (the paper's APKI metric)."""
+        return 1000.0 * self.counters.dram_accesses / self.instructions
+
+
+@dataclass(frozen=True)
+class AppMetrics:
+    """Whole-application metrics, measured or reconstructed."""
+
+    instructions: float
+    cycles: float
+    dram_accesses: float
+    frequency_ghz: float
+    num_regions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0 or self.cycles <= 0:
+            raise SimulationError("application metrics must be positive")
+
+    @property
+    def time_seconds(self) -> float:
+        """Total execution time in seconds."""
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Whole-machine IPC over the full run."""
+        return self.instructions / self.cycles
+
+    @property
+    def dram_apki(self) -> float:
+        """DRAM accesses per kilo-instruction over the full run."""
+        return 1000.0 * self.dram_accesses / self.instructions
+
+    @staticmethod
+    def from_regions(regions: list[RegionMetrics]) -> AppMetrics:
+        """Aggregate measured per-region metrics into app totals."""
+        if not regions:
+            raise SimulationError("cannot aggregate an empty region list")
+        return AppMetrics(
+            instructions=float(sum(r.instructions for r in regions)),
+            cycles=float(sum(r.cycles for r in regions)),
+            dram_accesses=float(sum(r.counters.dram_accesses for r in regions)),
+            frequency_ghz=regions[0].frequency_ghz,
+            num_regions=len(regions),
+        )

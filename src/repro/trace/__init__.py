@@ -1,0 +1,29 @@
+"""Deterministic program-trace substrate.
+
+Workloads are expressed as static :class:`~repro.trace.program.BasicBlock`
+objects plus per-region, per-thread sequences of
+:class:`~repro.trace.program.BlockExec` (a block run ``count`` times with an
+explicit memory-line reference stream).  Every stream is a pure function of
+``(workload, nthreads, region, thread)`` via :mod:`repro.trace.rng`, so the
+profiler, the warmup capture pass and the detailed simulator all observe
+identical executions — the property the BarrierPoint methodology relies on.
+"""
+
+from repro.trace.program import (
+    BasicBlock,
+    BlockExec,
+    RegionTrace,
+    ThreadTrace,
+    concat_refs,
+)
+from repro.trace.rng import stream_rng, stream_seed
+
+__all__ = [
+    "BasicBlock",
+    "BlockExec",
+    "RegionTrace",
+    "ThreadTrace",
+    "concat_refs",
+    "stream_rng",
+    "stream_seed",
+]

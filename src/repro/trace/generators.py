@@ -1,0 +1,189 @@
+"""Memory reference pattern generators.
+
+Each generator returns a ``(lines, writes)`` pair: cache-line addresses in
+access order and a parallel store mask.  These are the building blocks the
+synthetic workloads compose into per-phase reference streams: contiguous
+sweeps (dense array kernels), stencils (structured-grid codes), random
+gathers (sparse matrices), all-to-all block reads (FFT transposes), and
+scatter histograms (bucket sort).
+
+Addresses are already line-granular (the workloads allocate arrays in units
+of 64-byte lines), which halves trace volume without changing any cache,
+reuse-distance or warmup behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def _check_positive(**kwargs: int) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise WorkloadError(f"{name} must be positive, got {value}")
+
+
+def concat(
+    *chunks: tuple[np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``(lines, writes)`` pairs into one reference stream."""
+    if not chunks:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    lines = np.concatenate([c[0] for c in chunks])
+    writes = np.concatenate([c[1] for c in chunks])
+    return lines, writes
+
+
+def strided_sweep(
+    base: int, n_lines: int, stride: int = 1, write: bool = False, repeat: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sweep ``n_lines`` lines starting at ``base`` with ``stride``.
+
+    ``repeat`` > 1 re-walks the same range, producing short reuse distances
+    (the signature of a cache-resident kernel).
+    """
+    _check_positive(n_lines=n_lines, repeat=repeat)
+    if stride == 0:
+        raise WorkloadError("stride must be non-zero")
+    one = base + np.arange(n_lines, dtype=np.int64) * stride
+    lines = np.tile(one, repeat)
+    writes = np.full(lines.size, write, dtype=bool)
+    return lines, writes
+
+
+def read_modify_write_sweep(
+    base: int, n_lines: int, stride: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Read-then-write each line in a strided walk (e.g. ``a[i] += b``)."""
+    _check_positive(n_lines=n_lines)
+    idx = base + np.arange(n_lines, dtype=np.int64) * stride
+    lines = np.repeat(idx, 2)
+    writes = np.zeros(lines.size, dtype=bool)
+    writes[1::2] = True
+    return lines, writes
+
+
+def stencil_sweep(
+    base: int, n_lines: int, radius: int = 1, write_center: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Walk a 1-D stencil: read ``[-radius, +radius]`` around each point.
+
+    Neighbouring stencil applications re-touch lines, yielding the short
+    reuse distances typical of structured-grid sweeps (lu/mg/sp kernels).
+    """
+    _check_positive(n_lines=n_lines, radius=radius)
+    centers = base + np.arange(n_lines, dtype=np.int64)
+    offsets = np.arange(-radius, radius + 1, dtype=np.int64)
+    lines = (centers[:, None] + offsets[None, :]).ravel()
+    writes = np.zeros(lines.size, dtype=bool)
+    if write_center:
+        # The centre of each stencil application is written back.
+        width = offsets.size
+        writes[radius::width] = True
+    return np.clip(lines, base, None), writes
+
+
+def random_gather(
+    rng: np.random.Generator,
+    base: int,
+    footprint_lines: int,
+    count: int,
+    write_fraction: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``count`` uniformly random touches within a ``footprint_lines`` window.
+
+    Models indirect access through an index array (sparse mat-vec in cg).
+    """
+    _check_positive(footprint_lines=footprint_lines, count=count)
+    if not 0.0 <= write_fraction <= 1.0:
+        raise WorkloadError("write_fraction must be in [0, 1]")
+    lines = base + rng.integers(0, footprint_lines, size=count, dtype=np.int64)
+    writes = rng.random(count) < write_fraction
+    return lines, writes
+
+
+def blocked_all_to_all(
+    base: int,
+    lines_per_owner: int,
+    num_owners: int,
+    reader: int,
+    chunk_lines: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Read one chunk from every owner's block (FFT transpose traffic).
+
+    ``reader`` selects which chunk of each owner's block this thread reads,
+    so all threads collectively cover the array while each touches remote
+    threads' data — generating the sharing/coherence traffic of npb-ft.
+    """
+    _check_positive(lines_per_owner=lines_per_owner, num_owners=num_owners,
+                    chunk_lines=chunk_lines)
+    if not 0 <= reader < num_owners:
+        raise WorkloadError(f"reader {reader} out of range [0, {num_owners})")
+    chunks = []
+    offset = (reader * chunk_lines) % max(lines_per_owner, 1)
+    for owner in range(num_owners):
+        start = base + owner * lines_per_owner + offset
+        span = min(chunk_lines, lines_per_owner - offset)
+        if span > 0:
+            chunks.append(start + np.arange(span, dtype=np.int64))
+    lines = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    writes = np.zeros(lines.size, dtype=bool)
+    return lines, writes
+
+
+def histogram_scatter(
+    rng: np.random.Generator,
+    keys_base: int,
+    n_keys: int,
+    buckets_base: int,
+    n_buckets: int,
+    skew: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bucket-sort inner loop: stream keys, scatter-update random buckets.
+
+    Each key is one sequential read followed by a read-modify-write of a
+    bucket counter line; ``skew`` > 1 concentrates traffic on few buckets
+    (a power-law key distribution, as in npb-is class A).
+    """
+    _check_positive(n_keys=n_keys, n_buckets=n_buckets)
+    if skew <= 0:
+        raise WorkloadError("skew must be positive")
+    key_lines = keys_base + np.arange(n_keys, dtype=np.int64) // 8
+    u = rng.random(n_keys)
+    bucket_idx = np.floor(n_buckets * u**skew).astype(np.int64)
+    bucket_idx = np.clip(bucket_idx, 0, n_buckets - 1)
+    bucket_lines = buckets_base + bucket_idx
+    # Interleave: key read, bucket read, bucket write.
+    lines = np.empty(n_keys * 3, dtype=np.int64)
+    writes = np.zeros(n_keys * 3, dtype=bool)
+    lines[0::3] = key_lines
+    lines[1::3] = bucket_lines
+    lines[2::3] = bucket_lines
+    writes[2::3] = True
+    return lines, writes
+
+
+def reduction_accumulate(
+    base: int, n_lines: int, rounds: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Repeatedly read-modify-write a small shared window (dot products)."""
+    _check_positive(n_lines=n_lines, rounds=rounds)
+    idx = base + np.arange(n_lines, dtype=np.int64)
+    one_round = np.repeat(idx, 2)
+    lines = np.tile(one_round, rounds)
+    writes = np.zeros(lines.size, dtype=bool)
+    writes[1::2] = True
+    return lines, writes
+
+
+def pointer_chase(
+    rng: np.random.Generator, base: int, footprint_lines: int, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Serially dependent random walk (linked-list traversal).
+
+    Identical cache behaviour to :func:`random_gather` but callers attach it
+    to blocks with ``mlp == 1`` to model the lost memory-level parallelism.
+    """
+    return random_gather(rng, base, footprint_lines, count, write_fraction=0.0)

@@ -1,0 +1,148 @@
+"""Program representation: basic blocks and per-region execution traces.
+
+The unit the simulator and profiler consume is the :class:`BlockExec`: one
+static :class:`BasicBlock` executed ``count`` times back-to-back together
+with the memory-line reference stream those executions produce.  A
+:class:`ThreadTrace` is the ordered list of block executions one thread
+performs between two barriers, and a :class:`RegionTrace` bundles all
+threads of one inter-barrier region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+_EMPTY_LINES = np.empty(0, dtype=np.int64)
+_EMPTY_WRITES = np.empty(0, dtype=bool)
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A static basic block of the (synthetic) program.
+
+    ``instructions`` is the count per single execution of the block body;
+    ``mispredict_rate`` is the probability the block-terminating branch is
+    mispredicted; ``mlp`` is the effective number of overlapping long-latency
+    misses the block sustains (streaming code ~4, pointer chasing ~1);
+    ``code_lines`` are the I-cache lines holding the block's code.
+    """
+
+    bb_id: int
+    name: str
+    instructions: int
+    mispredict_rate: float = 0.01
+    mlp: float = 2.0
+    code_lines: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise WorkloadError(f"block {self.name!r} must have >= 1 instruction")
+        if not 0.0 <= self.mispredict_rate <= 1.0:
+            raise WorkloadError(f"block {self.name!r} mispredict rate out of [0, 1]")
+        if self.mlp < 1.0:
+            raise WorkloadError(f"block {self.name!r} MLP must be >= 1")
+
+
+@dataclass(frozen=True)
+class BlockExec:
+    """``count`` consecutive executions of ``block`` plus their data refs.
+
+    ``lines`` holds cache-line addresses in access order; ``writes`` is a
+    parallel boolean mask (True for stores).  The streams of consecutive
+    block executions are concatenated — the split across the ``count``
+    iterations is immaterial to both profiling and timing.
+    """
+
+    block: BasicBlock
+    count: int
+    lines: np.ndarray = field(default_factory=lambda: _EMPTY_LINES)
+    writes: np.ndarray = field(default_factory=lambda: _EMPTY_WRITES)
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise WorkloadError(f"block {self.block.name!r} executed {self.count} times")
+        if self.lines.shape != self.writes.shape:
+            raise WorkloadError(
+                f"lines/writes mismatch in {self.block.name!r}: "
+                f"{self.lines.shape} vs {self.writes.shape}"
+            )
+
+    @property
+    def instructions(self) -> int:
+        """Dynamic instruction count contributed by this execution group."""
+        return self.block.instructions * self.count
+
+    @property
+    def num_refs(self) -> int:
+        """Number of data memory references."""
+        return int(self.lines.size)
+
+
+@dataclass(frozen=True)
+class ThreadTrace:
+    """Everything one thread executes inside one inter-barrier region."""
+
+    thread_id: int
+    blocks: tuple[BlockExec, ...]
+
+    @property
+    def instructions(self) -> int:
+        """Dynamic instructions this thread executes in the region."""
+        return sum(b.instructions for b in self.blocks)
+
+    @property
+    def num_refs(self) -> int:
+        """Data memory references this thread issues in the region."""
+        return sum(b.num_refs for b in self.blocks)
+
+
+@dataclass(frozen=True)
+class RegionTrace:
+    """One inter-barrier region: per-thread traces plus identity metadata."""
+
+    region_index: int
+    phase: str
+    threads: tuple[ThreadTrace, ...]
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise WorkloadError(f"region {self.region_index} has no threads")
+        ids = [t.thread_id for t in self.threads]
+        if ids != list(range(len(ids))):
+            raise WorkloadError(
+                f"region {self.region_index}: thread ids must be 0..n-1, got {ids}"
+            )
+
+    @property
+    def num_threads(self) -> int:
+        """Thread count of the region (equals the machine's core count)."""
+        return len(self.threads)
+
+    @property
+    def instructions(self) -> int:
+        """Aggregate dynamic instruction count across all threads.
+
+        This is the region "length" used to weight clustering and to compute
+        barrierpoint multipliers (the paper's global instruction count).
+        """
+        return sum(t.instructions for t in self.threads)
+
+    @property
+    def num_refs(self) -> int:
+        """Aggregate data memory reference count across threads."""
+        return sum(t.num_refs for t in self.threads)
+
+
+def concat_refs(
+    chunks: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``(lines, writes)`` chunks into one reference stream."""
+    if not chunks:
+        return _EMPTY_LINES.copy(), _EMPTY_WRITES.copy()
+    lines = np.concatenate([c[0] for c in chunks])
+    writes = np.concatenate([c[1] for c in chunks])
+    return lines, writes

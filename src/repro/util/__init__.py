@@ -1,0 +1,19 @@
+"""Small support utilities shared across the library."""
+
+from repro.util.fenwick import FenwickTree
+from repro.util.stats import (
+    abs_pct_error,
+    geometric_mean,
+    harmonic_mean,
+    weighted_mean,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "FenwickTree",
+    "abs_pct_error",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "weighted_mean",
+]

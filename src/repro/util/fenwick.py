@@ -1,0 +1,65 @@
+"""Fenwick (binary indexed) tree over integer slots.
+
+Used by the LRU stack-distance profiler: one slot per dynamic access time;
+a slot holds 1 while it is the *most recent* access to some line, so a
+suffix sum counts the distinct lines touched since a given time.
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """Prefix-sum tree over ``size`` integer slots, all initially zero.
+
+    Supports point updates and prefix queries in O(log n).  Grows are not
+    supported: callers size the tree to the number of accesses up front.
+    """
+
+    __slots__ = ("_size", "_tree")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    @property
+    def size(self) -> int:
+        """Number of addressable slots."""
+        return self._size
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to slot ``index`` (0-based)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        tree = self._tree
+        i = index + 1
+        while i <= self._size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots ``[0, index]``; ``index == -1`` yields 0."""
+        if index >= self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        tree = self._tree
+        total = 0
+        i = index + 1
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots ``[lo, hi]`` inclusive; empty ranges yield 0."""
+        if lo > hi:
+            return 0
+        upper = self.prefix_sum(hi)
+        lower = self.prefix_sum(lo - 1) if lo > 0 else 0
+        return upper - lower
+
+    def total(self) -> int:
+        """Sum over all slots."""
+        if self._size == 0:
+            return 0
+        return self.prefix_sum(self._size - 1)

@@ -1,0 +1,52 @@
+"""Statistical helpers used by the evaluation harness."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of strictly positive values.
+
+    The paper reports its headline 24.7x speedup as a harmonic mean.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Arithmetic mean of ``values`` weighted by ``weights``."""
+    vals = np.asarray(values, dtype=float)
+    wts = np.asarray(weights, dtype=float)
+    if vals.shape != wts.shape:
+        raise ValueError(f"shape mismatch: {vals.shape} vs {wts.shape}")
+    total = wts.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return float(np.dot(vals, wts) / total)
+
+
+def abs_pct_error(estimate: float, reference: float) -> float:
+    """Absolute percentage error of ``estimate`` against ``reference``.
+
+    This is the paper's headline accuracy metric ("abs runtime % error").
+    """
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return abs(estimate - reference) / abs(reference) * 100.0

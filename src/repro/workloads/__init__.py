@@ -1,0 +1,75 @@
+"""Benchmark workloads: synthetic analogues of the paper's suite.
+
+The registry maps the paper's benchmark names (``npb-bt`` ... ``npb-sp``,
+``parsec-bodytrack``) to workload classes; :func:`get_workload` is the main
+entry point.  All eight reproduce the dynamic barrier counts of Fig. 1 and
+the phase structure discussed in section V of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhaseInstance, Workload
+from repro.workloads.npb_bt import NpbBT
+from repro.workloads.npb_cg import NpbCG
+from repro.workloads.npb_ft import NpbFT
+from repro.workloads.npb_is import NpbIS
+from repro.workloads.npb_lu import NpbLU
+from repro.workloads.npb_mg import NpbMG
+from repro.workloads.npb_sp import NpbSP
+from repro.workloads.npb_ua import NpbUA
+from repro.workloads.parsec_bodytrack import ParsecBodytrack
+from repro.workloads.synthetic import PhaseSpec, SyntheticSpec, SyntheticWorkload
+
+_REGISTRY: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        ParsecBodytrack, NpbBT, NpbCG, NpbFT, NpbIS, NpbLU, NpbMG, NpbSP,
+        # npb-ua is NOT in WORKLOAD_NAMES: the paper excluded it (too many
+        # barriers); it exists to exercise repro.core.region_filter.
+        NpbUA,
+    )
+}
+
+#: Benchmark names in the paper's figure order.
+WORKLOAD_NAMES: tuple[str, ...] = (
+    "parsec-bodytrack",
+    "npb-bt",
+    "npb-cg",
+    "npb-ft",
+    "npb-is",
+    "npb-lu",
+    "npb-mg",
+    "npb-sp",
+)
+
+
+def get_workload(name: str, num_threads: int, scale: float = 1.0) -> Workload:
+    """Instantiate a registered workload by its paper-facing name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(num_threads=num_threads, scale=scale)
+
+
+__all__ = [
+    "NpbBT",
+    "NpbCG",
+    "NpbFT",
+    "NpbIS",
+    "NpbLU",
+    "NpbMG",
+    "NpbSP",
+    "NpbUA",
+    "ParsecBodytrack",
+    "PhaseInstance",
+    "PhaseSpec",
+    "SyntheticSpec",
+    "SyntheticWorkload",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "get_workload",
+]

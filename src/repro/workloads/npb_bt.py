@@ -1,0 +1,111 @@
+"""npb-bt — Block Tridiagonal solver (ADI) synthetic analogue.
+
+Structure: one initialization region, then 200 time steps of five phases
+(compute_rhs, x_solve, y_solve, z_solve, add), giving the paper's 1001
+dynamic barriers (Fig. 1 / Table III).  The three solver sweeps are
+compute-heavy stencil walks over the solution grid with mild deterministic
+length jitter, so clustering yields a handful of barrierpoints with large
+fractional multipliers, as in Table III.
+"""
+
+from __future__ import annotations
+
+from repro.trace import generators as gen
+from repro.trace.program import BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+_TIME_STEPS = 200
+_U_LINES = 768
+_RHS_LINES = 768
+_LHS_LINES = 160
+
+
+class NpbBT(Workload):
+    """Synthetic npb-bt (class A): 1001 barriers, 5-phase ADI time loop."""
+
+    name = "npb-bt"
+    input_size = "A"
+
+    def _build(self) -> None:
+        self._alloc("u", self._scaled(_U_LINES))
+        self._alloc("rhs", self._scaled(_RHS_LINES))
+        self._alloc("lhs", self._scaled(_LHS_LINES))
+
+        self._bb("bt_init_loop", instructions=40)
+        self._bb("bt_init_fill", instructions=12, mlp=4.0)
+        self._bb("bt_rhs_loop", instructions=55)
+        self._bb("bt_rhs_kernel", instructions=33, mlp=3.0, mispredict_rate=0.005)
+        for axis in "xyz":
+            self._bb(f"bt_{axis}_loop", instructions=60)
+            self._bb(
+                f"bt_{axis}_solve",
+                instructions={"x": 42, "y": 48, "z": 57}[axis],
+                mlp={"x": 3.0, "y": 2.5, "z": 2.0}[axis],
+                mispredict_rate=0.008,
+            )
+        self._bb("bt_add_loop", instructions=35)
+        self._bb("bt_add_kernel", instructions=15, mlp=4.0)
+
+        self._schedule.append(PhaseInstance("init", 0))
+        for step in range(_TIME_STEPS):
+            for phase in ("rhs", "x_solve", "y_solve", "z_solve", "add"):
+                self._schedule.append(PhaseInstance(phase, step))
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        u_base, u_n = self._partition("u", thread_id)
+        rhs_base, rhs_n = self._partition("rhs", thread_id)
+
+        if inst.phase == "init":
+            refs = gen.concat(
+                gen.strided_sweep(u_base, u_n, write=True),
+                gen.strided_sweep(rhs_base, rhs_n, write=True),
+            )
+            return [
+                BlockExec(self.block("bt_init_loop"), count=1),
+                BlockExec(self.block("bt_init_fill"), u_n + rhs_n, *refs),
+            ]
+
+        jit = self._jitter(inst.phase, inst.iteration, 0.08)
+        n = max(2, round(u_n * jit))
+
+        if inst.phase == "rhs":
+            refs = gen.concat(
+                gen.stencil_sweep(u_base, n, radius=1, write_center=False),
+                gen.strided_sweep(rhs_base, min(n, rhs_n), write=True),
+            )
+            return [
+                BlockExec(self.block("bt_rhs_loop"), count=1),
+                BlockExec(self.block("bt_rhs_kernel"), count=n, lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase in ("x_solve", "y_solve", "z_solve"):
+            axis = inst.phase[0]
+            lhs_base, lhs_n = self._partition("lhs", thread_id)
+            # Each solver reads the RHS stencil, works in the per-thread LHS
+            # scratch area and writes the solution back; y and z walk the
+            # grid with growing strides (less spatial locality per plane).
+            stride = {"x": 1, "y": 2, "z": 3}[axis]
+            span = max(2, n // stride)
+            refs = gen.concat(
+                gen.stencil_sweep(rhs_base, span, radius=1, write_center=False),
+                gen.strided_sweep(lhs_base, min(span, lhs_n), repeat=2),
+                gen.read_modify_write_sweep(u_base, span, stride=stride),
+            )
+            return [
+                BlockExec(self.block(f"bt_{axis}_loop"), count=1),
+                BlockExec(self.block(f"bt_{axis}_solve"), count=span, lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "add":
+            refs = gen.concat(
+                gen.strided_sweep(rhs_base, min(n, rhs_n)),
+                gen.read_modify_write_sweep(u_base, n),
+            )
+            return [
+                BlockExec(self.block("bt_add_loop"), count=1),
+                BlockExec(self.block("bt_add_kernel"), count=n, lines=refs[0], writes=refs[1]),
+            ]
+
+        raise AssertionError(f"unknown phase {inst.phase!r}")

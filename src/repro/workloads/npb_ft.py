@@ -1,0 +1,167 @@
+"""npb-ft — 3-D FFT synthetic analogue.
+
+Structure: four distinct initialization regions, then 6 iterations of five
+phases (evolve, fft-x, fft-y, transpose, checksum) — 34 dynamic barriers as
+in Fig. 1 / Table III.  The transpose phase performs blocked all-to-all
+reads across thread partitions, generating the cross-socket sharing traffic
+that makes ft bandwidth-hungry; the four init regions are each unique,
+mirroring Table III where ft's first four barrierpoints carry multiplier 1.
+"""
+
+from __future__ import annotations
+
+from repro.trace import generators as gen
+from repro.trace.program import BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+_FT_ITERATIONS = 6
+_GRID_LINES = 16384
+_TWIDDLE_LINES = 2048
+_DOT_LINES = 8
+
+
+class NpbFT(Workload):
+    """Synthetic npb-ft (class A): 34 barriers, all-to-all transposes."""
+
+    name = "npb-ft"
+    input_size = "A"
+
+    def _build(self) -> None:
+        self._alloc("u0", self._scaled(_GRID_LINES))
+        self._alloc("u1", self._scaled(_GRID_LINES))
+        self._alloc("twiddle", self._scaled(_TWIDDLE_LINES))
+        self._alloc("sums", _DOT_LINES)
+
+        self._bb("ft_setup_loop", instructions=60)
+        self._bb("ft_setup_fill", instructions=9, mlp=4.0)
+        self._bb("ft_twiddle_loop", instructions=50)
+        self._bb("ft_twiddle_fill", instructions=21, mlp=4.0)
+        self._bb("ft_init_fft_loop", instructions=70)
+        self._bb("ft_init_fft", instructions=27, mlp=3.0)
+        self._bb("ft_warm_loop", instructions=45)
+        self._bb("ft_warm_touch", instructions=6, mlp=4.0)
+        self._bb("ft_evolve_loop", instructions=40)
+        self._bb("ft_evolve_kernel", instructions=24, mlp=4.0)
+        self._bb("ft_fftx_loop", instructions=55)
+        self._bb("ft_fftx_butterfly", instructions=36, mlp=4.0, mispredict_rate=0.004)
+        self._bb("ft_ffty_loop", instructions=55)
+        self._bb("ft_ffty_butterfly", instructions=36, mlp=3.0, mispredict_rate=0.004)
+        self._bb("ft_transpose_loop", instructions=45)
+        self._bb("ft_transpose_copy", instructions=12, mlp=4.0, mispredict_rate=0.002)
+        self._bb("ft_checksum_loop", instructions=40)
+        self._bb("ft_checksum_gather", instructions=18, mlp=1.5, mispredict_rate=0.02)
+
+        for phase in ("setup", "twiddle_init", "fft_init", "warm"):
+            self._schedule.append(PhaseInstance(phase, 0))
+        for it in range(_FT_ITERATIONS):
+            for phase in ("evolve", "fftx", "ffty", "transpose", "checksum"):
+                self._schedule.append(PhaseInstance(phase, it))
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        u0_base, u0_n = self._partition("u0", thread_id)
+        u1_base, u1_n = self._partition("u1", thread_id)
+        tw_base, tw_n = self._partition("twiddle", thread_id)
+
+        if inst.phase == "setup":
+            refs = gen.strided_sweep(u0_base, u0_n, write=True)
+            return [
+                BlockExec(self.block("ft_setup_loop"), count=1),
+                BlockExec(self.block("ft_setup_fill"), count=u0_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "twiddle_init":
+            refs = gen.strided_sweep(tw_base, tw_n, write=True)
+            return [
+                BlockExec(self.block("ft_twiddle_loop"), count=1),
+                BlockExec(self.block("ft_twiddle_fill"), count=tw_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "fft_init":
+            refs = gen.concat(
+                gen.strided_sweep(u0_base, u0_n),
+                gen.strided_sweep(u1_base, u1_n, write=True),
+            )
+            return [
+                BlockExec(self.block("ft_init_fft_loop"), count=1),
+                BlockExec(self.block("ft_init_fft"), count=u0_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "warm":
+            refs = gen.strided_sweep(u1_base, u1_n, repeat=2)
+            return [
+                BlockExec(self.block("ft_warm_loop"), count=1),
+                BlockExec(self.block("ft_warm_touch"), count=2 * u1_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "evolve":
+            refs = gen.concat(
+                gen.read_modify_write_sweep(u0_base, u0_n),
+                gen.strided_sweep(tw_base, tw_n),
+            )
+            return [
+                BlockExec(self.block("ft_evolve_loop"), count=1),
+                BlockExec(self.block("ft_evolve_kernel"), count=u0_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "fftx":
+            refs = gen.concat(
+                gen.strided_sweep(u0_base, u0_n),
+                gen.strided_sweep(u1_base, u1_n, write=True),
+            )
+            return [
+                BlockExec(self.block("ft_fftx_loop"), count=1),
+                BlockExec(self.block("ft_fftx_butterfly"), count=u0_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "ffty":
+            refs = gen.read_modify_write_sweep(u1_base, u1_n)
+            return [
+                BlockExec(self.block("ft_ffty_loop"), count=1),
+                BlockExec(self.block("ft_ffty_butterfly"), count=u1_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "transpose":
+            per_owner = self.array_lines("u1") // self.num_threads
+            chunk = max(1, per_owner // self.num_threads)
+            remote = gen.blocked_all_to_all(
+                self.array_base("u1"), max(per_owner, 1), self.num_threads,
+                reader=thread_id, chunk_lines=chunk,
+            )
+            refs = gen.concat(remote, gen.strided_sweep(u0_base, u0_n, write=True))
+            return [
+                BlockExec(self.block("ft_transpose_loop"), count=1),
+                BlockExec(self.block("ft_transpose_copy"), count=max(1, refs[0].size),
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "checksum":
+            # The checksum samples a mostly-fixed set of grid points; a
+            # minority varies per iteration (realistic run-to-run noise).
+            fixed_rng = self._rng("checksum", thread_id)
+            iter_rng = self._rng("checksum-iter", inst.iteration, thread_id)
+            count = max(8, u0_n // 4)
+            fixed_count = max(1, (3 * count) // 4)
+            refs = gen.concat(
+                gen.random_gather(fixed_rng, self.array_base("u0"),
+                                  self.array_lines("u0"), fixed_count),
+                gen.random_gather(iter_rng, self.array_base("u0"),
+                                  self.array_lines("u0"),
+                                  max(1, count - fixed_count)),
+                gen.reduction_accumulate(self.array_base("sums"), _DOT_LINES, rounds=2),
+            )
+            return [
+                BlockExec(self.block("ft_checksum_loop"), count=1),
+                BlockExec(self.block("ft_checksum_gather"), count=count,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        raise AssertionError(f"unknown phase {inst.phase!r}")

@@ -1,0 +1,82 @@
+"""npb-is — Integer Sort (bucket ranking) synthetic analogue.
+
+Structure: one initialization region, then 10 ranking iterations — 11
+dynamic barriers as in Fig. 1 / Table III.  Each iteration ranks a *fresh*
+key array with an iteration-specific skew and a growing active-bucket
+window, so the ten ranking regions are all mutually distinct; Table III
+accordingly shows ten significant barrierpoints with multiplier 1.0 each,
+and is exhibits the methodology's smallest simulation speedup.
+"""
+
+from __future__ import annotations
+
+from repro.trace import generators as gen
+from repro.trace.program import BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+_RANK_ITERATIONS = 10
+_KEYS_PER_ITER = 4800  # key *values*; 8 keys per cache line
+_BUCKET_LINES = 1280
+
+
+class NpbIS(Workload):
+    """Synthetic npb-is (class A): 11 barriers, 10 unique ranking regions."""
+
+    name = "npb-is"
+    input_size = "A"
+
+    def _build(self) -> None:
+        for it in range(_RANK_ITERATIONS):
+            self._alloc(f"keys{it}", max(1, self._scaled(_KEYS_PER_ITER) // 8))
+        self._alloc("buckets", self._scaled(_BUCKET_LINES))
+
+        self._bb("is_init_loop", instructions=45)
+        self._bb("is_init_fill", instructions=9, mlp=4.0)
+        self._bb("is_rank_loop", instructions=50)
+        self._bb("is_rank_scatter", instructions=27, mlp=1.5, mispredict_rate=0.05)
+        self._bb("is_rank_count", instructions=12, mlp=4.0, mispredict_rate=0.01)
+
+        self._schedule.append(PhaseInstance("init", 0))
+        for it in range(_RANK_ITERATIONS):
+            self._schedule.append(PhaseInstance("rank", it))
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        buckets_base = self.array_base("buckets")
+        buckets_n = self.array_lines("buckets")
+
+        if inst.phase == "init":
+            part_base, part_n = self._partition("buckets", thread_id)
+            refs = gen.strided_sweep(part_base, part_n, write=True)
+            return [
+                BlockExec(self.block("is_init_loop"), count=1),
+                BlockExec(self.block("is_init_fill"), count=part_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        it = inst.iteration
+        keys_base, keys_n = self._partition(f"keys{it}", thread_id)
+        n_keys = self._per_thread(_KEYS_PER_ITER)
+        # Iteration-specific key distribution: skew rises and the active
+        # bucket window widens, so every ranking region has its own LDV.
+        skew = 0.5 + 0.12 * it
+        active_buckets = max(16, round(buckets_n * (0.35 + 0.065 * it)))
+        rng = self._rng("rank", it, thread_id)
+        scatter = gen.histogram_scatter(
+            rng,
+            keys_base=keys_base,
+            n_keys=n_keys,
+            buckets_base=buckets_base,
+            n_buckets=min(active_buckets, buckets_n),
+            skew=skew,
+        )
+        count_base, count_n = self._partition("buckets", thread_id)
+        counts = gen.strided_sweep(count_base, count_n)
+        return [
+            BlockExec(self.block("is_rank_loop"), count=1),
+            BlockExec(self.block("is_rank_scatter"), count=n_keys,
+                      lines=scatter[0], writes=scatter[1]),
+            BlockExec(self.block("is_rank_count"), count=count_n,
+                      lines=counts[0], writes=counts[1]),
+        ]

@@ -1,0 +1,104 @@
+"""npb-lu — SSOR solver synthetic analogue.
+
+Structure: three initialization regions, then 250 SSOR iterations of two
+phases (lower-triangular and upper-triangular wavefront sweeps) — 503
+dynamic barriers as in Fig. 1 / Table III.  The wavefront pipelining of
+real lu shows up as a comparatively large deterministic length jitter, so
+multipliers come out near 250 with fractional parts, matching Table III's
+lu-32 row (two barrierpoints, multipliers 250.1 / 250.0).
+"""
+
+from __future__ import annotations
+
+from repro.trace import generators as gen
+from repro.trace.program import BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+_SSOR_ITERATIONS = 250
+_GRID_LINES = 480
+
+
+class NpbLU(Workload):
+    """Synthetic npb-lu (class A): 503 barriers, two-phase SSOR loop."""
+
+    name = "npb-lu"
+    input_size = "A"
+
+    def _build(self) -> None:
+        self._alloc("u", self._scaled(_GRID_LINES))
+        self._alloc("rsd", self._scaled(_GRID_LINES))
+        self._alloc("frct", self._scaled(_GRID_LINES))
+
+        self._bb("lu_init_loop", instructions=45)
+        self._bb("lu_init_fill", instructions=9, mlp=4.0)
+        self._bb("lu_erhs_loop", instructions=50)
+        self._bb("lu_erhs_kernel", instructions=21, mlp=3.0)
+        self._bb("lu_norm_loop", instructions=40)
+        self._bb("lu_norm_kernel", instructions=12, mlp=4.0)
+        self._bb("lu_lower_loop", instructions=60)
+        self._bb("lu_lower_sweep", instructions=45, mlp=2.0, mispredict_rate=0.01)
+        self._bb("lu_upper_loop", instructions=60)
+        self._bb("lu_upper_sweep", instructions=45, mlp=2.0, mispredict_rate=0.01)
+
+        self._schedule.append(PhaseInstance("init", 0))
+        self._schedule.append(PhaseInstance("erhs", 0))
+        self._schedule.append(PhaseInstance("norm", 0))
+        for it in range(_SSOR_ITERATIONS):
+            self._schedule.append(PhaseInstance("lower", it))
+            self._schedule.append(PhaseInstance("upper", it))
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        u_base, u_n = self._partition("u", thread_id)
+        rsd_base, rsd_n = self._partition("rsd", thread_id)
+        frct_base, frct_n = self._partition("frct", thread_id)
+
+        if inst.phase == "init":
+            refs = gen.concat(
+                gen.strided_sweep(u_base, u_n, write=True),
+                gen.strided_sweep(rsd_base, rsd_n, write=True),
+            )
+            return [
+                BlockExec(self.block("lu_init_loop"), count=1),
+                BlockExec(self.block("lu_init_fill"), count=u_n + rsd_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "erhs":
+            refs = gen.concat(
+                gen.stencil_sweep(u_base, u_n, radius=1, write_center=False),
+                gen.strided_sweep(frct_base, frct_n, write=True),
+            )
+            return [
+                BlockExec(self.block("lu_erhs_loop"), count=1),
+                BlockExec(self.block("lu_erhs_kernel"), count=u_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "norm":
+            refs = gen.strided_sweep(rsd_base, rsd_n)
+            return [
+                BlockExec(self.block("lu_norm_loop"), count=1),
+                BlockExec(self.block("lu_norm_kernel"), count=rsd_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase in ("lower", "upper"):
+            # Wavefront sweeps: read the residual stencil, update the
+            # solution; the pipeline fill/drain shows as +/-12% length jitter.
+            jit = self._jitter(inst.phase, inst.iteration, 0.12)
+            n = max(2, round(u_n * jit))
+            refs = gen.concat(
+                gen.stencil_sweep(rsd_base, min(n, rsd_n), radius=1,
+                                  write_center=False),
+                gen.read_modify_write_sweep(u_base, n),
+                gen.strided_sweep(frct_base, min(n, frct_n)),
+            )
+            return [
+                BlockExec(self.block(f"lu_{inst.phase}_loop"), count=1),
+                BlockExec(self.block(f"lu_{inst.phase}_sweep"), count=n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        raise AssertionError(f"unknown phase {inst.phase!r}")

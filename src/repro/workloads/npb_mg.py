@@ -1,0 +1,203 @@
+"""npb-mg — Multigrid V-cycle synthetic analogue.
+
+Structure: five initialization regions, then 4 V-cycles of 60 regions each
+(down path over 7 levels x {smooth, resid, restrict, comm}, 4 coarse-grid
+solves, up path over 7 levels x {prolong, smooth, resid, comm}) — 245
+dynamic barriers as in Fig. 1 / Table III.
+
+The defining property: every level runs the *same* basic blocks over
+footprints that halve per level.  Normalized BBVs are therefore identical
+across levels while LDVs differ, so mg is the workload where combined
+BBV+LDV signatures beat BBV-only clustering (Fig. 5) and where merged
+clusters of different lengths make multiplier scaling essential (§VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.trace import generators as gen
+from repro.trace.program import BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+_V_CYCLES = 4
+_NUM_LEVELS = 7  # level 1 (coarsest) .. 7 (finest)
+_FINEST_GRID_LINES = 8192
+#: Per-level shrink factor: real 3-D multigrid shrinks footprints 8x per
+#: level, which makes levels below the finest two carry negligible weight —
+#: clustering can merge them at almost no cost (they fall under the 0.1%
+#: significance threshold, as in Table III's mg rows) while the fine levels
+#: still present distinct LDV footprints.
+_LEVEL_RATIO = 8
+
+
+def _grid_lines(level: int) -> int:
+    return max(4, _FINEST_GRID_LINES // _LEVEL_RATIO ** (_NUM_LEVELS - level))
+
+
+class NpbMG(Workload):
+    """Synthetic npb-mg (class A): 245 barriers, level-shared code."""
+
+    name = "npb-mg"
+    input_size = "A"
+
+    def _build(self) -> None:
+        for level in range(1, _NUM_LEVELS + 1):
+            lines = self._scaled(_grid_lines(level))
+            self._alloc(f"u{level}", lines)
+            self._alloc(f"r{level}", lines)
+
+        self._bb("mg_init_loop", instructions=45)
+        self._bb("mg_init_fill", instructions=9, mlp=4.0)
+        self._bb("mg_zran_loop", instructions=55)
+        self._bb("mg_zran_scatter", instructions=24, mlp=1.5, mispredict_rate=0.03)
+        self._bb("mg_norm_loop", instructions=40)
+        self._bb("mg_norm_kernel", instructions=12, mlp=4.0)
+        self._bb("mg_smooth_loop", instructions=50)
+        self._bb("mg_smooth_kernel", instructions=30, mlp=3.0, mispredict_rate=0.006)
+        self._bb("mg_resid_loop", instructions=45)
+        self._bb("mg_resid_kernel", instructions=24, mlp=3.0, mispredict_rate=0.006)
+        self._bb("mg_restrict_loop", instructions=40)
+        self._bb("mg_restrict_kernel", instructions=15, mlp=4.0)
+        self._bb("mg_prolong_loop", instructions=40)
+        self._bb("mg_prolong_kernel", instructions=18, mlp=4.0)
+        self._bb("mg_comm_loop", instructions=35)
+        self._bb("mg_comm_exchange", instructions=12, mlp=1.5, mispredict_rate=0.02)
+        self._bb("mg_coarse_loop", instructions=50)
+        self._bb("mg_coarse_kernel", instructions=36, mlp=1.5, mispredict_rate=0.02)
+
+        for phase in ("init", "zero", "zran", "norm", "touch"):
+            self._schedule.append(PhaseInstance(phase, 0))
+        for cycle in range(_V_CYCLES):
+            for level in range(_NUM_LEVELS, 0, -1):  # down: fine -> coarse
+                for phase in ("smooth", "resid", "restrict", "comm"):
+                    self._schedule.append(PhaseInstance(phase, cycle, level))
+            for k in range(4):  # coarse-grid solve
+                self._schedule.append(PhaseInstance("coarse", cycle, k))
+            for level in range(1, _NUM_LEVELS + 1):  # up: coarse -> fine
+                for phase in ("prolong", "smooth", "resid", "comm"):
+                    self._schedule.append(PhaseInstance(phase, cycle, level))
+
+    def _grid_part(self, array: str, level: int, thread_id: int) -> tuple[int, int]:
+        return self._partition(f"{array}{level}", thread_id)
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        finest = _NUM_LEVELS
+
+        if inst.phase in ("init", "zero", "touch"):
+            u_base, u_n = self._grid_part("u", finest, thread_id)
+            r_base, r_n = self._grid_part("r", finest, thread_id)
+            write = inst.phase != "touch"
+            refs = gen.concat(
+                gen.strided_sweep(u_base, u_n, write=write),
+                gen.strided_sweep(r_base, r_n, write=write),
+            )
+            return [
+                BlockExec(self.block("mg_init_loop"), count=1),
+                BlockExec(self.block("mg_init_fill"), count=u_n + r_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "zran":
+            rng = self._rng("zran", thread_id)
+            u_base = self.array_base(f"u{finest}")
+            u_total = self.array_lines(f"u{finest}")
+            count = max(8, u_total // (2 * self.num_threads))
+            refs = gen.random_gather(rng, u_base, u_total, count, write_fraction=0.5)
+            return [
+                BlockExec(self.block("mg_zran_loop"), count=1),
+                BlockExec(self.block("mg_zran_scatter"), count=count,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "norm":
+            r_base, r_n = self._grid_part("r", finest, thread_id)
+            refs = gen.strided_sweep(r_base, r_n)
+            return [
+                BlockExec(self.block("mg_norm_loop"), count=1),
+                BlockExec(self.block("mg_norm_kernel"), count=r_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "coarse":
+            u_base, u_n = self._grid_part("u", 1, thread_id)
+            refs = gen.strided_sweep(u_base, u_n, repeat=3)
+            return [
+                BlockExec(self.block("mg_coarse_loop"), count=1),
+                BlockExec(self.block("mg_coarse_kernel"), count=3 * u_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        level = inst.param
+        u_base, u_n = self._grid_part("u", level, thread_id)
+        r_base, r_n = self._grid_part("r", level, thread_id)
+
+        if inst.phase == "smooth":
+            refs = gen.concat(
+                gen.stencil_sweep(u_base, u_n, radius=1),
+                gen.strided_sweep(r_base, r_n),
+            )
+            return [
+                BlockExec(self.block("mg_smooth_loop"), count=1),
+                BlockExec(self.block("mg_smooth_kernel"), count=u_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "resid":
+            refs = gen.concat(
+                gen.stencil_sweep(u_base, u_n, radius=1, write_center=False),
+                gen.strided_sweep(r_base, r_n, write=True),
+            )
+            return [
+                BlockExec(self.block("mg_resid_loop"), count=1),
+                BlockExec(self.block("mg_resid_kernel"), count=u_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "restrict":
+            coarse = max(1, level - 1)
+            c_base, c_n = self._grid_part("r", coarse, thread_id)
+            refs = gen.concat(
+                gen.strided_sweep(r_base, r_n),
+                gen.strided_sweep(c_base, c_n, write=True),
+            )
+            return [
+                BlockExec(self.block("mg_restrict_loop"), count=1),
+                BlockExec(self.block("mg_restrict_kernel"), count=r_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "prolong":
+            coarse = max(1, level - 1)
+            c_base, c_n = self._grid_part("u", coarse, thread_id)
+            refs = gen.concat(
+                gen.strided_sweep(c_base, c_n),
+                gen.read_modify_write_sweep(u_base, u_n),
+            )
+            return [
+                BlockExec(self.block("mg_prolong_loop"), count=1),
+                BlockExec(self.block("mg_prolong_kernel"), count=u_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        if inst.phase == "comm":
+            # Boundary exchange: read the neighbouring threads' edge lines,
+            # refresh our own edges — small, sharing-heavy regions.
+            left = (thread_id - 1) % self.num_threads
+            right = (thread_id + 1) % self.num_threads
+            l_base, l_n = self._grid_part("u", level, left)
+            r2_base, r2_n = self._grid_part("u", level, right)
+            edge = max(1, min(4, l_n))
+            refs = gen.concat(
+                gen.strided_sweep(l_base + max(0, l_n - edge), edge),
+                gen.strided_sweep(r2_base, min(edge, r2_n)),
+                gen.strided_sweep(u_base, min(edge, u_n), write=True),
+                gen.strided_sweep(u_base + max(0, u_n - edge), edge, write=True),
+            )
+            return [
+                BlockExec(self.block("mg_comm_loop"), count=1),
+                BlockExec(self.block("mg_comm_exchange"), count=max(1, refs[0].size),
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        raise AssertionError(f"unknown phase {inst.phase!r}")

@@ -1,0 +1,113 @@
+"""npb-sp — Scalar Pentadiagonal solver synthetic analogue.
+
+Structure: one initialization region, then 400 time steps of nine short
+phases (compute_rhs, txinvr, x_solve, ninvr, y_solve, pinvr, z_solve,
+tzetar, add) — 3601 dynamic barriers, the largest count in the suite
+(Fig. 1 / Table III).  Regions are short and highly repetitive, which is
+what gives sp the methodology's largest speedups: a handful of
+barrierpoints with multipliers near 400 stand in for thousands of regions.
+"""
+
+from __future__ import annotations
+
+from repro.trace import generators as gen
+from repro.trace.program import BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+_TIME_STEPS = 400
+_U_LINES = 480
+_RHS_LINES = 480
+
+_PHASES = (
+    "rhs", "txinvr", "x_solve", "ninvr", "y_solve",
+    "pinvr", "z_solve", "tzetar", "add",
+)
+
+
+class NpbSP(Workload):
+    """Synthetic npb-sp (class A): 3601 barriers, nine-phase ADI loop."""
+
+    name = "npb-sp"
+    input_size = "A"
+
+    def _build(self) -> None:
+        self._alloc("u", self._scaled(_U_LINES))
+        self._alloc("rhs", self._scaled(_RHS_LINES))
+
+        self._bb("sp_init_loop", instructions=40)
+        self._bb("sp_init_fill", instructions=9, mlp=4.0)
+        for phase in _PHASES:
+            self._bb(f"sp_{phase}_loop", instructions=45)
+        self._bb("sp_rhs_kernel", instructions=30, mlp=3.0, mispredict_rate=0.005)
+        for phase in ("txinvr", "ninvr", "pinvr", "tzetar"):
+            self._bb(f"sp_{phase}_kernel", instructions=18, mlp=4.0)
+        for axis in "xyz":
+            self._bb(
+                f"sp_{axis}_solve_kernel",
+                instructions={"x": 36, "y": 39, "z": 45}[axis],
+                mlp={"x": 3.0, "y": 2.5, "z": 2.0}[axis],
+                mispredict_rate=0.008,
+            )
+        self._bb("sp_add_kernel", instructions=12, mlp=4.0)
+
+        self._schedule.append(PhaseInstance("init", 0))
+        for step in range(_TIME_STEPS):
+            for phase in _PHASES:
+                self._schedule.append(PhaseInstance(phase, step))
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        u_base, u_n = self._partition("u", thread_id)
+        rhs_base, rhs_n = self._partition("rhs", thread_id)
+
+        if inst.phase == "init":
+            refs = gen.concat(
+                gen.strided_sweep(u_base, u_n, write=True),
+                gen.strided_sweep(rhs_base, rhs_n, write=True),
+            )
+            return [
+                BlockExec(self.block("sp_init_loop"), count=1),
+                BlockExec(self.block("sp_init_fill"), count=u_n + rhs_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        jit = self._jitter(inst.phase, inst.iteration, 0.06)
+        n = max(2, round(u_n * jit))
+        loop = BlockExec(self.block(f"sp_{inst.phase}_loop"), count=1)
+
+        if inst.phase == "rhs":
+            refs = gen.concat(
+                gen.stencil_sweep(u_base, n, radius=1, write_center=False),
+                gen.strided_sweep(rhs_base, min(n, rhs_n), write=True),
+            )
+            return [loop, BlockExec(self.block("sp_rhs_kernel"), count=n,
+                                    lines=refs[0], writes=refs[1])]
+
+        if inst.phase in ("txinvr", "ninvr", "pinvr", "tzetar"):
+            refs = gen.read_modify_write_sweep(rhs_base, min(n, rhs_n))
+            return [loop, BlockExec(self.block(f"sp_{inst.phase}_kernel"),
+                                    count=min(n, rhs_n),
+                                    lines=refs[0], writes=refs[1])]
+
+        if inst.phase in ("x_solve", "y_solve", "z_solve"):
+            axis = inst.phase[0]
+            stride = {"x": 1, "y": 2, "z": 3}[axis]
+            span = max(2, n // stride)
+            refs = gen.concat(
+                gen.strided_sweep(rhs_base, min(span, rhs_n)),
+                gen.read_modify_write_sweep(u_base, span, stride=stride),
+            )
+            return [loop, BlockExec(self.block(f"sp_{axis}_solve_kernel"),
+                                    count=span,
+                                    lines=refs[0], writes=refs[1])]
+
+        if inst.phase == "add":
+            refs = gen.concat(
+                gen.strided_sweep(rhs_base, min(n, rhs_n)),
+                gen.read_modify_write_sweep(u_base, n),
+            )
+            return [loop, BlockExec(self.block("sp_add_kernel"), count=n,
+                                    lines=refs[0], writes=refs[1])]
+
+        raise AssertionError(f"unknown phase {inst.phase!r}")

@@ -1,0 +1,84 @@
+"""npb-ua — Unstructured Adaptive mesh synthetic analogue.
+
+The paper *excluded* npb-ua: it "generates a very large number of
+barriers which makes it difficult to analyze" (section V), naming a
+region filter/combiner as future work.  We include a synthetic ua —
+adaptive-mesh refinement with per-element barriers, >10,000 dynamic
+barriers of individually negligible weight — precisely to exercise that
+extension (:mod:`repro.core.region_filter`).  It is deliberately *not*
+part of ``WORKLOAD_NAMES`` (the paper's evaluated suite): construct it
+explicitly via ``get_workload("npb-ua", ...)``.
+"""
+
+from __future__ import annotations
+
+from repro.trace import generators as gen
+from repro.trace.program import BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+_TIME_STEPS = 300
+_REGIONS_PER_STEP = 36  # transfer/adapt micro-phases with barriers
+_MESH_LINES = 2048
+
+
+class NpbUA(Workload):
+    """Synthetic npb-ua: >10,000 tiny inter-barrier regions."""
+
+    name = "npb-ua"
+    input_size = "A"
+
+    def _build(self) -> None:
+        self._alloc("mesh", self._scaled(_MESH_LINES))
+        self._alloc("flux", self._scaled(_MESH_LINES // 2))
+
+        self._bb("ua_init_loop", instructions=45)
+        self._bb("ua_init_fill", instructions=9, mlp=4.0)
+        self._bb("ua_transfer_loop", instructions=40)
+        self._bb("ua_transfer_kernel", instructions=18, mlp=2.0,
+                 mispredict_rate=0.02)
+        self._bb("ua_adapt_loop", instructions=40)
+        self._bb("ua_adapt_kernel", instructions=24, mlp=1.5,
+                 mispredict_rate=0.03)
+
+        self._schedule.append(PhaseInstance("init", 0))
+        for step in range(_TIME_STEPS):
+            for micro in range(_REGIONS_PER_STEP):
+                phase = "transfer" if micro % 3 else "adapt"
+                self._schedule.append(PhaseInstance(phase, step, micro))
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        mesh_base, mesh_n = self._partition("mesh", thread_id)
+        flux_base, flux_n = self._partition("flux", thread_id)
+
+        if inst.phase == "init":
+            refs = gen.strided_sweep(mesh_base, mesh_n, write=True)
+            return [
+                BlockExec(self.block("ua_init_loop"), count=1),
+                BlockExec(self.block("ua_init_fill"), count=mesh_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        # Micro-regions touch a tiny, micro-phase-specific slice of the
+        # mesh — each region is individually negligible.
+        slice_n = max(1, mesh_n // _REGIONS_PER_STEP)
+        offset = (inst.param * slice_n) % max(mesh_n - slice_n, 1)
+        if inst.phase == "transfer":
+            refs = gen.concat(
+                gen.strided_sweep(mesh_base + offset, slice_n),
+                gen.strided_sweep(flux_base + offset % max(flux_n, 1),
+                                  max(1, slice_n // 2), write=True),
+            )
+            return [
+                BlockExec(self.block("ua_transfer_loop"), count=1),
+                BlockExec(self.block("ua_transfer_kernel"), count=slice_n,
+                          lines=refs[0], writes=refs[1]),
+            ]
+
+        refs = gen.read_modify_write_sweep(mesh_base + offset, slice_n)
+        return [
+            BlockExec(self.block("ua_adapt_loop"), count=1),
+            BlockExec(self.block("ua_adapt_kernel"), count=slice_n,
+                      lines=refs[0], writes=refs[1]),
+        ]

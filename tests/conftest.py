@@ -1,0 +1,52 @@
+"""Shared fixtures: tiny machines and scaled-down workloads for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, CoreConfig, MachineConfig
+from repro.workloads import get_workload
+
+
+def tiny_machine(num_sockets: int = 1, cores_per_socket: int = 4) -> MachineConfig:
+    """A very small machine: 4 cores/socket, tiny caches, fast to simulate."""
+    return MachineConfig(
+        name=f"tiny-{num_sockets}x{cores_per_socket}",
+        num_sockets=num_sockets,
+        cores_per_socket=cores_per_socket,
+        core=CoreConfig(),
+        l1i=CacheConfig(4 * 256, 4, 4),      # 16 lines
+        l1d=CacheConfig(8 * 256, 8, 4),      # 32 lines
+        l2=CacheConfig(8 * 1024, 8, 8),      # 128 lines
+        l3=CacheConfig(32 * 1024, 16, 30),   # 512 lines
+    )
+
+
+@pytest.fixture
+def machine4() -> MachineConfig:
+    """Single-socket 4-core tiny machine."""
+    return tiny_machine()
+
+
+@pytest.fixture
+def machine8_2s() -> MachineConfig:
+    """Two-socket, 8-core tiny machine (exercises coherence across sockets)."""
+    return tiny_machine(num_sockets=2, cores_per_socket=4)
+
+
+@pytest.fixture
+def small_ft():
+    """npb-ft at 4 threads, small scale."""
+    return get_workload("npb-ft", 4, scale=0.1)
+
+
+@pytest.fixture
+def small_cg():
+    """npb-cg at 4 threads, small scale."""
+    return get_workload("npb-cg", 4, scale=0.1)
+
+
+@pytest.fixture
+def small_is():
+    """npb-is at 4 threads, small scale (few regions: fastest suite member)."""
+    return get_workload("npb-is", 4, scale=0.2)

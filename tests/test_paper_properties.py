@@ -1,0 +1,163 @@
+"""Shape-level properties from the paper, checked at small scale.
+
+These encode the *qualitative* claims of the evaluation — the ones that
+must hold at any workload scale — as fast regression tests: redundancy
+compression for highly repetitive workloads, LDVs separating cold-start
+iterations, combined signatures handling code-identical phases, and the
+warmup ordering perfect <= mru << cold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimPointConfig
+from repro.core.pipeline import BarrierPointPipeline
+from repro.core.signatures import SignatureConfig
+from repro.core.speedup import speedup_report
+from repro.profiling.ldv import COLD_BUCKET
+from repro.profiling.profiler import FunctionalProfiler
+from repro.workloads import get_workload
+from tests.conftest import tiny_machine
+
+SP_FAST = SimPointConfig(max_k=20, kmeans_restarts=2)
+
+
+class TestRedundancyCompression:
+    def test_sp_needs_tiny_fraction_of_regions(self):
+        """3601 sp regions collapse into <= 20 barrierpoints."""
+        workload = get_workload("npb-sp", 4, scale=0.1)
+        pipe = BarrierPointPipeline(tiny_machine(), simpoint=SP_FAST)
+        selection = pipe.select(workload)
+        assert selection.num_barrierpoints <= 20
+        report = speedup_report(selection)
+        assert report.resource_reduction > 100
+        assert report.parallel_speedup > 100
+
+    def test_is_has_no_redundancy(self):
+        """npb-is ranking iterations are all distinct: ~1x serial speedup."""
+        workload = get_workload("npb-is", 4, scale=0.2)
+        pipe = BarrierPointPipeline(tiny_machine(), simpoint=SP_FAST)
+        selection = pipe.select(workload)
+        assert selection.num_barrierpoints >= workload.num_regions - 3
+        report = speedup_report(selection)
+        assert report.serial_speedup < 2.0
+
+
+class TestColdStartSeparation:
+    def test_first_iteration_ldv_differs(self):
+        """LDVs (persistent stack) distinguish a phase's first iteration."""
+        workload = get_workload("npb-cg", 4, scale=0.15)
+        profiles = FunctionalProfiler(workload).profile()
+        spmv = [p for p in profiles if workload.phase_of(
+            p.region_index).phase == "spmv"]
+        cold0 = spmv[0].ldv[:, COLD_BUCKET].sum() / spmv[0].ldv.sum()
+        cold3 = spmv[3].ldv[:, COLD_BUCKET].sum() / spmv[3].ldv.sum()
+        assert cold0 > 2 * cold3 + 0.01
+
+    def test_bbvs_identical_across_iterations(self):
+        """Same-phase BBVs are near-identical once normalized — BBV alone
+        cannot see cold start (the paper's motivation for LDVs)."""
+        workload = get_workload("npb-ft", 4, scale=0.15)
+        profiles = FunctionalProfiler(workload).profile()
+        evolve = [p for p in profiles if workload.phase_of(
+            p.region_index).phase == "evolve"]
+        a = evolve[0].bbv.ravel() / evolve[0].bbv.sum()
+        b = evolve[3].bbv.ravel() / evolve[3].bbv.sum()
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestCodeIdenticalPhases:
+    def test_mg_levels_share_normalized_bbv_but_not_ldv(self):
+        """Multigrid levels run the same code over different footprints:
+        BBVs agree, LDVs differ (section VI-A1's failure mode for BBVs)."""
+        workload = get_workload("npb-mg", 4, scale=0.5)
+        profiles = FunctionalProfiler(workload).profile()
+        smooth = [
+            p for p in profiles
+            if workload.phase_of(p.region_index).phase == "smooth"
+        ]
+        fine = next(p for p in smooth
+                    if workload.phase_of(p.region_index).param == 7)
+        coarse = next(p for p in smooth
+                      if workload.phase_of(p.region_index).param == 6)
+        bbv_f = fine.bbv.sum(axis=0) / fine.bbv.sum()
+        bbv_c = coarse.bbv.sum(axis=0) / coarse.bbv.sum()
+        assert np.allclose(bbv_f, bbv_c, atol=0.02)
+        ldv_f = fine.ldv.sum(axis=0) / fine.ldv.sum()
+        ldv_c = coarse.ldv.sum(axis=0) / coarse.ldv.sum()
+        assert np.abs(ldv_f - ldv_c).sum() > 0.2
+
+
+class TestWarmupOrdering:
+    def test_perfect_le_mru_lt_cold(self):
+        workload = get_workload("npb-cg", 4, scale=0.25)
+        pipe = BarrierPointPipeline(tiny_machine(), simpoint=SP_FAST)
+        selection = pipe.select(workload)
+        full = pipe.full_run(workload)
+        perfect = pipe.evaluate_perfect(selection, full)
+        mru = pipe.evaluate_with_warmup(selection, workload, full, "mru")
+        cold = pipe.evaluate_with_warmup(selection, workload, full, "cold")
+        assert perfect.runtime_error_pct <= mru.runtime_error_pct + 1.0
+        assert mru.runtime_error_pct < cold.runtime_error_pct + 5.0
+
+    def test_warmup_state_bounded_by_llc(self):
+        """Replay size is bounded by cache capacity, not program history
+        (the paper's key advantage over functional warming)."""
+        workload = get_workload("npb-sp", 4, scale=0.1)
+        machine = tiny_machine()
+        capacity = machine.l3.num_lines
+        late_region = workload.num_regions - 10
+        snaps = FunctionalProfiler(workload).capture_warmup(
+            {late_region}, capacity)
+        data = snaps[late_region]
+        assert data.total_lines <= capacity * workload.num_threads
+        # thousands of regions of history compressed into <= LLC-bound state
+        history_refs = 100 * late_region  # gross lower bound on refs seen
+        assert data.total_lines < history_refs
+
+
+class TestFixedUnitsOfWork:
+    def test_region_instruction_counts_transfer(self):
+        """Global instruction counts per region are ~invariant in thread
+        count, so multipliers transfer across machines (Fig. 6's basis)."""
+        w4 = get_workload("npb-ft", 4, scale=0.15)
+        w8 = get_workload("npb-ft", 8, scale=0.15)
+        for idx in (0, 10, 20, 33):
+            i4 = w4.region_trace(idx).instructions
+            i8 = w8.region_trace(idx).instructions
+            assert i4 / i8 == pytest.approx(1.0, rel=0.35)
+
+    def test_selection_transfer_identity(self):
+        """Cluster labels survive a round trip across thread counts."""
+        from repro.core.selection import reassign_multipliers
+
+        workload = get_workload("npb-ft", 4, scale=0.15)
+        pipe = BarrierPointPipeline(tiny_machine(), simpoint=SP_FAST)
+        selection = pipe.select(workload)
+        target = np.array(
+            [float(workload.region_trace(i).instructions)
+             for i in range(workload.num_regions)])
+        moved = reassign_multipliers(selection, target, 8)
+        assert np.array_equal(moved.labels, selection.labels)
+        back = reassign_multipliers(moved, target, 4)
+        for a, b in zip(moved.points, back.points):
+            assert a.multiplier == pytest.approx(b.multiplier)
+
+
+class TestSignatureMethodOrdering:
+    def test_combined_not_worse_than_bbv_on_mg(self):
+        """mg is the workload where BBV-only merges levels; combined must
+        do at least as well (Fig. 5's headline comparison)."""
+        workload = get_workload("npb-mg", 4, scale=0.3)
+        errors = {}
+        full = None
+        for kind in ("bbv", "combined"):
+            pipe = BarrierPointPipeline(
+                tiny_machine(), signature=SignatureConfig(kind=kind),
+                simpoint=SP_FAST)
+            selection = pipe.select(workload)
+            if full is None:
+                full = pipe.full_run(workload)
+            errors[kind] = pipe.evaluate_perfect(
+                selection, full).runtime_error_pct
+        assert errors["combined"] <= errors["bbv"] + 2.0

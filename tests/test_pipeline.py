@@ -1,0 +1,122 @@
+"""Integration tests: the full BarrierPoint pipeline on small workloads."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimPointConfig
+from repro.core.crossarch import apply_selection_across
+from repro.core.pipeline import BarrierPointPipeline
+from repro.core.signatures import SignatureConfig
+from repro.errors import ConfigError
+from repro.workloads import get_workload
+from tests.conftest import tiny_machine
+
+SP_FAST = SimPointConfig(max_k=10, kmeans_restarts=2)
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return BarrierPointPipeline(tiny_machine(), simpoint=SP_FAST)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("npb-is", 4, scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def selection(pipe, workload):
+    return pipe.select(workload)
+
+
+@pytest.fixture(scope="module")
+def full(pipe, workload):
+    return pipe.full_run(workload)
+
+
+class TestSelectionStage:
+    def test_selection_covers_all_regions(self, selection, workload):
+        assert selection.num_regions == workload.num_regions
+        assert selection.labels.shape == (workload.num_regions,)
+        assert 1 <= selection.num_barrierpoints <= workload.num_regions
+
+    def test_selection_deterministic(self, pipe, workload, selection):
+        again = pipe.select(workload)
+        assert np.array_equal(again.labels, selection.labels)
+        assert again.selected_regions == selection.selected_regions
+
+    def test_signature_label_recorded(self, selection):
+        assert selection.signature_label == "combine"
+
+    def test_thread_mismatch_rejected(self, pipe):
+        big = get_workload("npb-is", 16, scale=0.2)
+        with pytest.raises(ConfigError):
+            pipe.select(big)
+
+
+class TestPerfectEvaluation:
+    def test_small_error(self, pipe, selection, workload, full):
+        result = pipe.evaluate_perfect(selection, full)
+        assert result.warmup_name == "perfect"
+        assert result.runtime_error_pct < 20.0
+        assert result.estimate.instructions == pytest.approx(
+            full.app.instructions, rel=1e-9)
+
+    def test_scaling_beats_no_scaling_or_ties(self, pipe, selection, full):
+        scaled_r = pipe.evaluate_perfect(selection, full, scaling=True)
+        unscaled = pipe.evaluate_perfect(selection, full, scaling=False)
+        assert scaled_r.runtime_error_pct <= unscaled.runtime_error_pct + 5.0
+
+
+class TestWarmupEvaluation:
+    def test_mru_pipeline_runs(self, pipe, selection, workload, full):
+        result = pipe.evaluate_with_warmup(selection, workload, full, "mru")
+        assert result.warmup_name == "mru"
+        assert set(result.point_metrics) == set(selection.selected_regions)
+        assert all(v >= 0 for v in result.warmup_lines.values())
+        assert result.runtime_error_pct < 50.0
+
+    def test_cold_pipeline_runs(self, pipe, selection, workload, full):
+        result = pipe.evaluate_with_warmup(selection, workload, full, "cold")
+        assert result.warmup_name == "cold"
+        assert all(v == 0 for v in result.warmup_lines.values())
+
+    def test_unknown_warmup_rejected(self, pipe, selection, workload, full):
+        with pytest.raises(ConfigError):
+            pipe.evaluate_with_warmup(selection, workload, full, "magic")
+
+    def test_run_convenience(self, pipe, workload):
+        result = pipe.run(workload)
+        assert result.warmup_name == "mru"
+        assert result.runtime_error_pct >= 0.0
+
+
+class TestCrossArchitecture:
+    def test_transfer_to_more_cores(self, pipe, selection, workload):
+        pipe8 = BarrierPointPipeline(
+            tiny_machine(num_sockets=2), simpoint=SP_FAST)
+        w8 = get_workload("npb-is", 8, scale=0.2)
+        full8 = pipe8.full_run(w8)
+        result = apply_selection_across(selection, full8, pipe8)
+        assert result.selection.num_threads == 8
+        assert result.estimate.instructions == pytest.approx(
+            full8.app.instructions, rel=1e-9)
+        assert result.runtime_error_pct < 30.0
+
+    def test_multipliers_recomputed_on_target(self, selection):
+        from repro.core.selection import reassign_multipliers
+        target = np.arange(1, selection.num_regions + 1, dtype=float) * 100
+        moved = reassign_multipliers(selection, target, 8)
+        assert moved.total_instructions == pytest.approx(target.sum())
+
+
+class TestSignatureVariants:
+    @pytest.mark.parametrize("kind", ["bbv", "ldv", "combined"])
+    def test_all_kinds_produce_selections(self, workload, kind):
+        pipe = BarrierPointPipeline(
+            tiny_machine(), signature=SignatureConfig(kind=kind),
+            simpoint=SP_FAST)
+        selection = pipe.select(workload)
+        assert selection.num_barrierpoints >= 1
+        assert selection.signature_label.startswith(
+            {"bbv": "bbv", "ldv": "reuse", "combined": "combine"}[kind])

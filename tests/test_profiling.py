@@ -1,0 +1,225 @@
+"""Tests for the functional profiler: BBV, LDV, MRU capture."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.profiling.bbv import collect_region_bbv
+from repro.profiling.ldv import (
+    COLD_BUCKET,
+    NUM_LDV_BUCKETS,
+    LruStackProfiler,
+    bucket_of,
+    naive_stack_distances,
+)
+from repro.profiling.mru import MRUTracker
+from repro.profiling.profiler import FunctionalProfiler
+from repro.workloads import get_workload
+
+line_streams = st.lists(st.integers(0, 120), min_size=1, max_size=400)
+
+
+class TestBBV:
+    def test_counts_instructions_per_block(self, small_is):
+        trace = small_is.region_trace(1)
+        bbv = collect_region_bbv(trace, small_is.num_static_blocks)
+        assert bbv.shape == (4, small_is.num_static_blocks)
+        for thread in trace.threads:
+            row = bbv[thread.thread_id]
+            assert row.sum() == thread.instructions
+
+    def test_rejects_foreign_block(self, small_is):
+        trace = small_is.region_trace(0)
+        with pytest.raises(WorkloadError):
+            collect_region_bbv(trace, 1)
+
+
+class TestLruStack:
+    def test_cold_accesses(self):
+        profiler = LruStackProfiler()
+        profiler.observe(np.array([1, 2, 3], dtype=np.int64))
+        hist = profiler.take_histogram()
+        assert hist[COLD_BUCKET] == 3
+        assert hist.sum() == 3
+
+    def test_immediate_reuse_distance_zero(self):
+        profiler = LruStackProfiler()
+        profiler.observe(np.array([7, 7], dtype=np.int64))
+        hist = profiler.take_histogram()
+        assert hist[0] == 1
+
+    def test_known_distances(self):
+        profiler = LruStackProfiler()
+        # access a, b, c, a: distance of final a is 2 -> bucket_of(2) == 1
+        profiler.observe(np.array([1, 2, 3, 1], dtype=np.int64))
+        hist = profiler.take_histogram()
+        assert hist[bucket_of(2)] == 1
+
+    def test_histogram_resets_but_stack_persists(self):
+        profiler = LruStackProfiler()
+        profiler.observe(np.array([5], dtype=np.int64))
+        profiler.take_histogram()
+        profiler.observe(np.array([5], dtype=np.int64))
+        hist = profiler.take_histogram()
+        assert hist[COLD_BUCKET] == 0  # seen before the region boundary
+        assert hist[0] == 1
+
+    def test_reset_clears_stack(self):
+        profiler = LruStackProfiler()
+        profiler.observe(np.array([5], dtype=np.int64))
+        profiler.reset()
+        profiler.observe(np.array([5], dtype=np.int64))
+        assert profiler.take_histogram()[COLD_BUCKET] == 1
+
+    def test_unique_lines(self):
+        profiler = LruStackProfiler()
+        profiler.observe(np.array([1, 2, 1, 3], dtype=np.int64))
+        assert profiler.unique_lines == 3
+
+    @settings(max_examples=40)
+    @given(line_streams)
+    def test_matches_naive_mattson_bucketing(self, stream):
+        arr = np.asarray(stream, dtype=np.int64)
+        profiler = LruStackProfiler()
+        profiler.observe(arr)
+        hist = profiler.take_histogram()
+        expected = np.zeros(NUM_LDV_BUCKETS)
+        for distance in naive_stack_distances(arr):
+            expected[bucket_of(distance)] += 1
+        assert np.array_equal(hist, expected)
+
+    @settings(max_examples=25)
+    @given(line_streams)
+    def test_total_counts_accesses(self, stream):
+        profiler = LruStackProfiler()
+        profiler.observe(np.asarray(stream, dtype=np.int64))
+        assert profiler.take_histogram().sum() == len(stream)
+
+
+class TestBucketOf:
+    def test_cold(self):
+        assert bucket_of(-1) == COLD_BUCKET
+
+    def test_boundaries(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(1) == 1
+        assert bucket_of(2) == 1
+        assert bucket_of(3) == 2
+        assert bucket_of(6) == 2
+        assert bucket_of(7) == 3
+
+    def test_clamped(self):
+        assert bucket_of(1 << 40) == COLD_BUCKET - 1
+
+    @given(st.integers(0, 1 << 30))
+    def test_monotone(self, distance):
+        assert bucket_of(distance) <= bucket_of(distance + 1)
+
+
+class TestMRUTracker:
+    def test_capacity_bound(self):
+        tracker = MRUTracker(num_cores=1, capacity_lines=4)
+        lines = np.arange(10, dtype=np.int64)
+        tracker.observe(0, lines, np.zeros(10, dtype=bool))
+        assert tracker.occupancy(0) == 4
+        snap = tracker.snapshot(0)
+        kept = [line for line, _ in snap.per_core[0]]
+        assert kept == [6, 7, 8, 9]  # most recent, oldest first
+
+    def test_reaccess_refreshes_recency(self):
+        tracker = MRUTracker(num_cores=1, capacity_lines=3)
+        tracker.observe(0, np.array([1, 2, 3, 1], dtype=np.int64),
+                        np.zeros(4, dtype=bool))
+        kept = [line for line, _ in tracker.snapshot(0).per_core[0]]
+        assert kept == [2, 3, 1]
+
+    def test_dirty_flag_sticky(self):
+        tracker = MRUTracker(num_cores=1, capacity_lines=8)
+        tracker.observe(0, np.array([5], dtype=np.int64),
+                        np.array([True]))
+        tracker.observe(0, np.array([5], dtype=np.int64),
+                        np.array([False]))
+        snap = tracker.snapshot(0)
+        assert dict(snap.per_core[0])[5] is True
+
+    def test_per_core_isolation(self):
+        tracker = MRUTracker(num_cores=2, capacity_lines=8)
+        tracker.observe(0, np.array([1], dtype=np.int64), np.array([False]))
+        assert tracker.occupancy(0) == 1
+        assert tracker.occupancy(1) == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            MRUTracker(num_cores=0, capacity_lines=4)
+        with pytest.raises(WorkloadError):
+            MRUTracker(num_cores=1, capacity_lines=0)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=200),
+           st.integers(1, 16))
+    def test_tracks_exactly_the_most_recent_distinct(self, stream, cap):
+        tracker = MRUTracker(num_cores=1, capacity_lines=cap)
+        arr = np.asarray(stream, dtype=np.int64)
+        tracker.observe(0, arr, np.zeros(arr.size, dtype=bool))
+        kept = [line for line, _ in tracker.snapshot(0).per_core[0]]
+        expected = []
+        for line in reversed(stream):
+            if line not in expected:
+                expected.append(line)
+            if len(expected) == cap:
+                break
+        assert kept == list(reversed(expected))
+
+
+class TestFunctionalProfiler:
+    def test_profiles_every_region(self, small_is):
+        profiles = FunctionalProfiler(small_is).profile()
+        assert len(profiles) == small_is.num_regions
+        for idx, profile in enumerate(profiles):
+            assert profile.region_index == idx
+            assert profile.instructions > 0
+            assert profile.bbv.shape[0] == 4
+            assert profile.ldv.shape == (4, NUM_LDV_BUCKETS)
+
+    def test_ldv_counts_refs(self, small_is):
+        profiles = FunctionalProfiler(small_is).profile()
+        for profile in profiles:
+            trace = small_is.region_trace(profile.region_index)
+            assert profile.ldv.sum() == trace.num_refs
+
+    def test_first_region_is_cold(self, small_is):
+        profiles = FunctionalProfiler(small_is).profile()
+        ldv0 = profiles[0].ldv
+        # Every first-region access is a first touch.
+        assert ldv0[:, COLD_BUCKET].sum() > 0.5 * ldv0.sum()
+
+    def test_repeated_phases_less_cold(self, small_cg):
+        profiles = FunctionalProfiler(small_cg).profile()
+        # spmv regions: 1, 4, 7, ... The 5th spmv touches mostly-seen data.
+        late = profiles[13]
+        cold_fraction = late.ldv[:, COLD_BUCKET].sum() / late.ldv.sum()
+        assert cold_fraction < 0.5
+
+    def test_deterministic(self, small_is):
+        p1 = FunctionalProfiler(small_is).profile()
+        p2 = FunctionalProfiler(small_is).profile()
+        for a, b in zip(p1, p2):
+            assert np.array_equal(a.bbv, b.bbv)
+            assert np.array_equal(a.ldv, b.ldv)
+
+    def test_capture_warmup_at_selected_regions(self, small_is):
+        profiler = FunctionalProfiler(small_is)
+        snaps = profiler.capture_warmup({0, 3, 7}, llc_capacity_lines=64)
+        assert set(snaps) == {0, 3, 7}
+        assert snaps[0].total_lines == 0  # nothing before region 0
+        assert snaps[3].total_lines > 0
+        assert snaps[7].total_lines >= snaps[3].total_lines * 0.5
+
+    def test_capture_warmup_empty(self, small_is):
+        assert FunctionalProfiler(small_is).capture_warmup(set(), 64) == {}
+
+    def test_capture_warmup_rejects_bad_region(self, small_is):
+        with pytest.raises(WorkloadError):
+            FunctionalProfiler(small_is).capture_warmup({999}, 64)

@@ -1,0 +1,114 @@
+"""Tests for region coalescing (the npb-ua future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.region_filter import coalesce_regions
+from repro.core.signatures import SignatureConfig, build_signature_matrix
+from repro.clustering.simpoint import SimPointClusterer
+from repro.config import SimPointConfig
+from repro.errors import WorkloadError
+from repro.profiling.profiler import FunctionalProfiler, RegionProfile
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+
+def _profile(idx, instructions):
+    return RegionProfile(
+        region_index=idx, phase=f"p{idx % 3}", instructions=instructions,
+        per_thread_instructions=(instructions,),
+        bbv=np.full((1, 4), float(instructions) / 4),
+        ldv=np.full((1, 3), float(instructions) / 3),
+    )
+
+
+class TestCoalesceRegions:
+    def test_large_regions_pass_through(self):
+        profiles = [_profile(i, 1000) for i in range(5)]
+        result = coalesce_regions(profiles, min_weight=0.05)
+        assert result.num_super_regions == 5
+        assert result.groups == ((0,), (1,), (2,), (3,), (4,))
+
+    def test_tiny_regions_merged(self):
+        profiles = [_profile(i, 1) for i in range(100)]
+        result = coalesce_regions(profiles, min_weight=0.1)
+        assert result.num_super_regions == 10
+        for group in result.groups:
+            assert len(group) == 10
+
+    def test_signatures_and_weights_additive(self):
+        profiles = [_profile(i, 10 + i) for i in range(6)]
+        result = coalesce_regions(profiles, min_weight=0.4)
+        assert result.num_super_regions == 2
+        assert result.groups == ((0, 1, 2), (3, 4, 5))
+        merged = result.profiles[0]
+        members = result.groups[0]
+        assert merged.instructions == sum(10 + i for i in members)
+        expected_bbv = sum(profiles[i].bbv for i in members)
+        assert np.allclose(merged.bbv, expected_bbv)
+        expected_ldv = sum(profiles[i].ldv for i in members)
+        assert np.allclose(merged.ldv, expected_ldv)
+
+    def test_groups_are_consecutive_and_cover_everything(self):
+        profiles = [_profile(i, (i % 7) + 1) for i in range(40)]
+        result = coalesce_regions(profiles, min_weight=0.03)
+        flattened = [i for group in result.groups for i in group]
+        assert flattened == list(range(40))
+
+    def test_tail_folded_into_last_group(self):
+        profiles = [_profile(i, 100) for i in range(4)] + [_profile(4, 1)]
+        result = coalesce_regions(profiles, min_weight=0.2)
+        assert result.groups[-1][-1] == 4
+        assert sum(len(g) for g in result.groups) == 5
+
+    def test_max_group_bound(self):
+        profiles = [_profile(i, 1) for i in range(30)]
+        result = coalesce_regions(profiles, min_weight=0.9, max_group=8)
+        assert all(len(g) <= 8 + 8 for g in result.groups)
+        assert max(len(g) for g in result.groups[:-1]) <= 8
+
+    def test_group_of(self):
+        profiles = [_profile(i, 1) for i in range(9)]
+        result = coalesce_regions(profiles, min_weight=0.34)
+        assert result.group_of(0) == 0
+        assert result.group_of(8) == result.num_super_regions - 1
+        with pytest.raises(WorkloadError):
+            result.group_of(99)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(WorkloadError):
+            coalesce_regions([], min_weight=0.1)
+        with pytest.raises(WorkloadError):
+            coalesce_regions([_profile(0, 1)], min_weight=0.0)
+        with pytest.raises(WorkloadError):
+            coalesce_regions([_profile(1, 1)], min_weight=0.1)  # gap at 0
+
+
+class TestNpbUA:
+    def test_excluded_from_evaluated_suite(self):
+        assert "npb-ua" not in WORKLOAD_NAMES
+
+    def test_many_barriers(self):
+        workload = get_workload("npb-ua", 4, scale=0.1)
+        assert workload.barrier_count > 10_000
+
+    def test_end_to_end_with_coalescing(self):
+        """npb-ua becomes analyzable after region filtering: >10k regions
+        compress to a clusterable super-region set (the paper's future
+        work, section V)."""
+        workload = get_workload("npb-ua", 2, scale=0.05)
+        profiles = FunctionalProfiler(workload).profile()
+        coalesced = coalesce_regions(profiles, min_weight=2e-3)
+        assert coalesced.num_super_regions < len(profiles) / 10
+        matrix, weights = build_signature_matrix(
+            coalesced.profiles, SignatureConfig())
+        clustering = SimPointClusterer(
+            SimPointConfig(max_k=10, kmeans_restarts=2)
+        ).fit(matrix, weights)
+        assert 1 <= clustering.chosen_k <= 10
+        # Redundant time steps compress massively.
+        total = weights.sum()
+        covered = sum(
+            weights[clustering.members_of(c)].sum()
+            for c in range(clustering.chosen_k)
+        )
+        assert covered == pytest.approx(total)

@@ -1,0 +1,91 @@
+"""Unit and property tests for the Fenwick tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_empty_tree_total(self):
+        assert FenwickTree(0).total() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_single_slot(self):
+        tree = FenwickTree(1)
+        tree.add(0, 5)
+        assert tree.prefix_sum(0) == 5
+        assert tree.total() == 5
+
+    def test_add_and_prefix(self):
+        tree = FenwickTree(10)
+        tree.add(3, 2)
+        tree.add(7, 4)
+        assert tree.prefix_sum(2) == 0
+        assert tree.prefix_sum(3) == 2
+        assert tree.prefix_sum(6) == 2
+        assert tree.prefix_sum(7) == 6
+        assert tree.prefix_sum(9) == 6
+
+    def test_negative_delta_supported(self):
+        tree = FenwickTree(4)
+        tree.add(1, 3)
+        tree.add(1, -1)
+        assert tree.prefix_sum(1) == 2
+
+    def test_range_sum(self):
+        tree = FenwickTree(8)
+        for i in range(8):
+            tree.add(i, i)
+        assert tree.range_sum(2, 4) == 2 + 3 + 4
+        assert tree.range_sum(0, 7) == sum(range(8))
+
+    def test_range_sum_empty_range(self):
+        tree = FenwickTree(8)
+        tree.add(3, 7)
+        assert tree.range_sum(5, 4) == 0
+
+    def test_out_of_range_add(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.add(4, 1)
+        with pytest.raises(IndexError):
+            tree.add(-1, 1)
+
+    def test_out_of_range_prefix(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.prefix_sum(4)
+
+    def test_size_property(self):
+        assert FenwickTree(17).size == 17
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(-5, 5)),
+                    max_size=60))
+    def test_matches_naive_prefix_sums(self, updates):
+        tree = FenwickTree(64)
+        naive = [0] * 64
+        for index, delta in updates:
+            tree.add(index, delta)
+            naive[index] += delta
+        for i in range(64):
+            assert tree.prefix_sum(i) == sum(naive[: i + 1])
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=40),
+           st.integers(0, 31), st.integers(0, 31))
+    def test_range_sum_consistent(self, indices, lo, hi):
+        tree = FenwickTree(32)
+        naive = [0] * 32
+        for index in indices:
+            tree.add(index, 1)
+            naive[index] += 1
+        expected = sum(naive[min(lo, hi): hi + 1]) if lo <= hi else 0
+        assert tree.range_sum(lo, hi) == expected

@@ -1,0 +1,88 @@
+"""Tests for statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    abs_pct_error,
+    geometric_mean,
+    harmonic_mean,
+    weighted_mean,
+)
+
+positive_lists = st.lists(
+    st.floats(0.1, 1e6, allow_nan=False), min_size=1, max_size=20
+)
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_paper_style_speedups(self):
+        # hmean is dominated by the small values, as the paper's 24.7x is.
+        assert harmonic_mean([10.0, 866.6]) < 20.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(positive_lists)
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert harmonic_mean(values) <= sum(values) / len(values) * (1 + 1e-9)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 2.0])
+
+    @given(positive_lists)
+    def test_between_harmonic_and_arithmetic(self, values):
+        gm = geometric_mean(values)
+        assert harmonic_mean(values) <= gm * (1 + 1e-9)
+        assert gm <= sum(values) / len(values) * (1 + 1e-9)
+
+
+class TestWeightedMean:
+    def test_equal_weights(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weighting_pulls_toward_heavy_value(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+
+class TestAbsPctError:
+    def test_exact(self):
+        assert abs_pct_error(10.0, 10.0) == 0.0
+
+    def test_symmetric_in_magnitude(self):
+        assert abs_pct_error(11.0, 10.0) == pytest.approx(10.0)
+        assert abs_pct_error(9.0, 10.0) == pytest.approx(10.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            abs_pct_error(1.0, 0.0)

@@ -1,0 +1,35 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_no_trailing_whitespace(self):
+        out = format_table(["aaa", "b"], [["x", "yyyy"]])
+        for line in out.splitlines():
+            assert line == line.rstrip()

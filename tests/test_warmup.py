@@ -1,0 +1,91 @@
+"""Tests for warmup strategies: cold flush and MRU replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.warmup import ColdWarmup, MRUWarmup, MRUWarmupData
+from tests.conftest import tiny_machine
+
+
+def _data(region=3, per_core=((), (), (), ())):
+    return MRUWarmupData(region_index=region, per_core=per_core)
+
+
+class TestColdWarmup:
+    def test_flushes_state(self):
+        h = MemoryHierarchy(tiny_machine())
+        h.access(0, 99, True)
+        ColdWarmup().prepare(h, 0)
+        assert not h.l1d[0].contains(99)
+        assert h.directory.owner(99) == -1
+
+
+class TestMRUWarmupData:
+    def test_total_lines(self):
+        data = _data(per_core=(((1, False), (2, True)), ((3, False),), (), ()))
+        assert data.total_lines == 3
+
+
+class TestMRUWarmup:
+    def test_replays_into_caches(self):
+        h = MemoryHierarchy(tiny_machine())
+        data = _data(per_core=(
+            ((10, False), (11, True)), (), (), (),
+        ))
+        MRUWarmup(data).prepare(h, 3)
+        assert h.l1d[0].contains(10)
+        assert h.l1d[0].contains(11)
+        assert h.directory.owner(11) == 0   # write replayed as write
+        assert h.directory.owner(10) == -1
+
+    def test_region_mismatch_rejected(self):
+        h = MemoryHierarchy(tiny_machine())
+        with pytest.raises(SimulationError):
+            MRUWarmup(_data(region=3)).prepare(h, 4)
+
+    def test_too_many_cores_rejected(self):
+        h = MemoryHierarchy(tiny_machine())  # 4 cores
+        data = _data(per_core=tuple(((1, False),) for _ in range(5)))
+        with pytest.raises(SimulationError):
+            MRUWarmup(data).prepare(h, 3)
+
+    def test_flushes_before_replay(self):
+        h = MemoryHierarchy(tiny_machine())
+        h.access(0, 777, False)
+        MRUWarmup(_data(per_core=(((1, False),), (), (), ()))).prepare(h, 3)
+        assert not h.l1d[0].contains(777)
+
+    def test_recency_order_preserved(self):
+        """The last captured line must end up MRU (survive pressure)."""
+        machine = tiny_machine()
+        h = MemoryHierarchy(machine)
+        capacity = machine.l1d.num_lines
+        stream = tuple((i, False) for i in range(0, 4 * capacity * machine.l1d.associativity, 1))
+        data = _data(per_core=(stream, (), (), ()))
+        MRUWarmup(data).prepare(h, 3)
+        last_line = stream[-1][0]
+        assert h.l1d[0].contains(last_line)
+
+    def test_old_writes_replayed_clean(self):
+        """Entries beyond the LRU dirty window lose M state (their
+        writeback already happened before the checkpoint)."""
+        machine = tiny_machine()
+        h = MemoryHierarchy(machine)
+        window = machine.l3.num_lines // machine.cores_per_socket
+        n = window + 50
+        stream = tuple((i, True) for i in range(n))
+        data = _data(per_core=(stream, (), (), ()))
+        MRUWarmup(data).prepare(h, 3)
+        assert h.directory.owner(0) == -1       # ancient write: clean
+        assert h.directory.owner(n - 1) == 0    # recent write: still M
+
+    def test_multi_core_round_robin(self):
+        h = MemoryHierarchy(tiny_machine())
+        data = _data(per_core=(
+            ((1, False),), ((2, False),), ((3, False),), ((4, False),),
+        ))
+        MRUWarmup(data).prepare(h, 3)
+        for core, line in enumerate((1, 2, 3, 4)):
+            assert h.l1d[core].contains(line)

@@ -1,0 +1,177 @@
+"""Tests for the benchmark workload suite.
+
+Covers the three properties BarrierPoint depends on: paper-matching
+dynamic barrier counts, thread-count invariance of the schedule and
+instruction totals (strong scaling), and full determinism of traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.base import PhaseInstance
+
+PAPER_BARRIERS = {
+    "parsec-bodytrack": 89,
+    "npb-bt": 1001,
+    "npb-cg": 46,
+    "npb-ft": 34,
+    "npb-is": 11,
+    "npb-lu": 503,
+    "npb-mg": 245,
+    "npb-sp": 3601,
+}
+
+SMALL = 0.1
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        assert set(WORKLOAD_NAMES) == set(PAPER_BARRIERS)
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_workload("npb-nope", 4)
+
+    def test_invalid_threads(self):
+        with pytest.raises(WorkloadError):
+            get_workload("npb-ft", 0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            get_workload("npb-ft", 4, scale=0.0)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestPerWorkload:
+    def test_barrier_count_matches_paper(self, name):
+        workload = get_workload(name, 4, scale=SMALL)
+        assert workload.barrier_count == PAPER_BARRIERS[name]
+
+    def test_barrier_count_thread_invariant(self, name):
+        counts = {
+            nt: get_workload(name, nt, scale=SMALL).barrier_count
+            for nt in (2, 4, 8)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_traces_deterministic(self, name):
+        w1 = get_workload(name, 4, scale=SMALL)
+        w2 = get_workload(name, 4, scale=SMALL)
+        for idx in (0, w1.num_regions // 2, w1.num_regions - 1):
+            t1, t2 = w1.region_trace(idx), w2.region_trace(idx)
+            assert t1.instructions == t2.instructions
+            for a, b in zip(t1.threads, t2.threads):
+                assert len(a.blocks) == len(b.blocks)
+                for ba, bb in zip(a.blocks, b.blocks):
+                    assert ba.block.bb_id == bb.block.bb_id
+                    assert ba.count == bb.count
+                    assert np.array_equal(ba.lines, bb.lines)
+                    assert np.array_equal(ba.writes, bb.writes)
+
+    def test_every_region_buildable_and_nonempty(self, name):
+        workload = get_workload(name, 2, scale=SMALL)
+        step = max(1, workload.num_regions // 25)
+        for idx in range(0, workload.num_regions, step):
+            trace = workload.region_trace(idx)
+            assert trace.instructions > 0
+            assert trace.num_threads == 2
+
+    def test_strong_scaling_totals(self, name):
+        """Aggregate instructions are ~invariant in thread count (class-A
+        fixed-size inputs), the property multipliers transfer through."""
+        step = None
+        totals = {}
+        for nt in (4, 8):
+            workload = get_workload(name, nt, scale=SMALL)
+            step = max(1, workload.num_regions // 10)
+            totals[nt] = sum(
+                workload.region_trace(i).instructions
+                for i in range(0, workload.num_regions, step)
+            )
+        ratio = totals[4] / totals[8]
+        assert 0.7 < ratio < 1.45
+
+    def test_region_out_of_range(self, name):
+        workload = get_workload(name, 2, scale=SMALL)
+        with pytest.raises(WorkloadError):
+            workload.region_trace(workload.num_regions)
+        with pytest.raises(WorkloadError):
+            workload.region_trace(-1)
+
+    def test_phase_of(self, name):
+        workload = get_workload(name, 2, scale=SMALL)
+        inst = workload.phase_of(0)
+        assert isinstance(inst, PhaseInstance)
+        assert inst.phase
+
+    def test_static_blocks_cover_trace(self, name):
+        workload = get_workload(name, 2, scale=SMALL)
+        nblocks = workload.num_static_blocks
+        trace = workload.region_trace(workload.num_regions - 1)
+        for thread in trace.threads:
+            for exec_ in thread.blocks:
+                assert 0 <= exec_.block.bb_id < nblocks
+
+
+class TestScheduleStructure:
+    def test_ft_has_four_unique_init_regions(self):
+        workload = get_workload("npb-ft", 2, scale=SMALL)
+        phases = [workload.phase_of(i).phase for i in range(4)]
+        assert phases == ["setup", "twiddle_init", "fft_init", "warm"]
+
+    def test_sp_has_nine_phase_loop(self):
+        workload = get_workload("npb-sp", 2, scale=SMALL)
+        first_step = [workload.phase_of(i).phase for i in range(1, 10)]
+        assert len(set(first_step)) == 9
+        second_step = [workload.phase_of(i).phase for i in range(10, 19)]
+        assert first_step == second_step
+
+    def test_mg_vcycle_levels_descend_then_ascend(self):
+        workload = get_workload("npb-mg", 2, scale=SMALL)
+        params = [workload.phase_of(i).param for i in range(5, 5 + 28)]
+        assert params[0] == 7  # down path starts at the finest level
+        assert params[-1] == 1
+
+    def test_bodytrack_frame_structure(self):
+        workload = get_workload("parsec-bodytrack", 2, scale=SMALL)
+        frame0 = [workload.phase_of(i).phase for i in range(1, 23)]
+        frame1 = [workload.phase_of(i).phase for i in range(23, 45)]
+        assert frame0 == frame1
+        assert frame0[0] == "load"
+
+    def test_is_fresh_keys_per_iteration(self):
+        workload = get_workload("npb-is", 2, scale=SMALL)
+        lines1 = workload.region_trace(1).threads[0].blocks[1].lines
+        lines2 = workload.region_trace(2).threads[0].blocks[1].lines
+        # Key arrays live at different bases -> different address ranges.
+        assert set(lines1.tolist()) != set(lines2.tolist())
+
+    def test_lu_jitter_varies_length(self):
+        workload = get_workload("npb-lu", 2, scale=1.0)
+        lengths = {
+            workload.region_trace(i).instructions for i in range(3, 43, 2)
+        }
+        assert len(lengths) > 5  # wavefront jitter produces varied lengths
+
+    def test_cg_spmv_gather_pattern_repeats_across_iterations(self):
+        workload = get_workload("npb-cg", 2, scale=SMALL)
+        # spmv regions are 1, 4, 7, ...; gather block is index 2.
+        g1 = workload.region_trace(1).threads[0].blocks[2].lines
+        g2 = workload.region_trace(4).threads[0].blocks[2].lines
+        # 75% of the sparsity pattern is iteration-invariant.
+        common = np.intersect1d(g1, g2).size
+        assert common > 0
+
+
+class TestAllocator:
+    def test_arrays_do_not_overlap(self):
+        workload = get_workload("npb-cg", 2, scale=SMALL)
+        spans = []
+        for name in ("matrix", "x", "p", "q", "r", "dots"):
+            base = workload.array_base(name)
+            spans.append((base, base + workload.array_lines(name)))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
