@@ -1,0 +1,165 @@
+"""Perf benchmark: fast engines vs the seed reference implementations.
+
+For every workload in the suite this times, on identical inputs,
+
+* the functional profiling pass (chunked exact-LDV engine vs the seed
+  bucketed-cascade stacks),
+* the full detailed simulation (dict-LRU inlined hierarchy vs the seed
+  list-scan hierarchy), and
+* barrierpoint warmup + replay (batched MRU capture/replay vs the seed
+  per-line path),
+
+asserting along the way that both sides produce *identical* results —
+histograms, cycles, counters — so the speedup is never bought with
+accuracy.  The aggregate profile+full-run speedup must clear
+``REPRO_BENCH_MIN_SPEEDUP`` (default 3x), and every run refreshes the
+perf trajectory in ``benchmarks/results/BENCH_perf.json``.
+
+Scale/workload knobs are inherited from ``conftest.py``; see
+``EXPERIMENTS.md`` for how to read the report.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro._reference import (
+    ReferenceFunctionalProfiler,
+    ReferenceMemoryHierarchy,
+)
+from repro.experiments.common import experiment_machine
+from repro.profiling.profiler import FunctionalProfiler
+from repro.sim.machine import Machine
+from repro.sim.warmup import MRUWarmup
+from repro.util.timing import BenchmarkReport, time_call
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+NUM_THREADS = 8
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+#: Best-of-N timing to damp scheduler/turbo noise.
+REPEAT = int(os.environ.get("REPRO_BENCH_REPEAT", "2"))
+
+
+def _assert_profiles_identical(fast, reference):
+    assert len(fast) == len(reference)
+    for a, b in zip(fast, reference):
+        assert a.region_index == b.region_index
+        assert np.array_equal(a.bbv, b.bbv)
+        assert np.array_equal(a.ldv, b.ldv), (
+            f"LDV mismatch in region {a.region_index}"
+        )
+
+
+def _assert_metrics_identical(fast, reference):
+    assert fast.cycles == reference.cycles
+    assert fast.per_thread_cycles == reference.per_thread_cycles
+    fc, rc = fast.counters, reference.counters
+    for attr in (
+        "loads", "stores", "l1d_misses", "l2_misses", "l3_misses",
+        "cache_to_cache", "writebacks", "l1i_misses",
+        "dram_reads_per_socket", "dram_writebacks_per_socket",
+    ):
+        assert getattr(fc, attr) == getattr(rc, attr), attr
+
+
+@pytest.fixture(scope="module")
+def report(runner):
+    rep = BenchmarkReport(scale=runner.scale)
+    yield rep
+    # Only the canonical scale-0.5 full-suite run refreshes the committed
+    # trajectory file; smoke runs (CI at scale 0.1, workload subsets)
+    # write a side file so they never clobber the baseline.
+    from repro.workloads import WORKLOAD_NAMES
+
+    canonical = runner.scale == 0.5 and tuple(runner.benchmarks) == WORKLOAD_NAMES
+    name = (
+        "BENCH_perf.json" if canonical
+        else f"BENCH_perf_scale-{runner.scale:g}.json"
+    )
+    payload = rep.write(RESULTS_DIR / name)
+    combined = payload["combined"]["profile+full_run"]
+    print(f"\ncombined profile+full_run speedup: {combined:.2f}x "
+          f"(floor {MIN_SPEEDUP}x)")
+    assert combined >= MIN_SPEEDUP, (
+        f"hot-path engine regressed: combined profile+full-run speedup "
+        f"{combined:.2f}x is below the {MIN_SPEEDUP}x floor"
+    )
+
+
+def test_perf_all_workloads(runner, report):
+    """Time and parity-check every phase on every suite workload.
+
+    The fast side runs the system as shipped (memoized traces, steady
+    state); the reference side runs the *seed* system faithfully, which
+    regenerated every region trace on every pass.  Identical generator
+    seeds guarantee both sides still see identical streams, which the
+    parity assertions check result-by-result.
+    """
+    config = experiment_machine(NUM_THREADS)
+    from repro.workloads import get_workload
+
+    for name in runner.benchmarks:
+        workload = runner.workload(name, NUM_THREADS)
+        ref_workload = get_workload(name, NUM_THREADS, runner.scale)
+        ref_workload.disable_trace_cache()
+        # Warm the fast side's trace cache so its timings are steady-state.
+        for _ in workload.iter_regions():
+            pass
+
+        # -- profiling pass ------------------------------------------------
+        fast_prof = time_call(
+            lambda: FunctionalProfiler(workload).profile(), REPEAT
+        )
+        ref_prof = time_call(
+            lambda: ReferenceFunctionalProfiler(ref_workload).profile(), REPEAT
+        )
+        _assert_profiles_identical(fast_prof.value, ref_prof.value)
+        report.add(name, "profile", fast_prof.seconds, ref_prof.seconds)
+
+        # -- full detailed simulation -------------------------------------
+        fast_full = time_call(
+            lambda: Machine(config).run_full(workload), REPEAT
+        )
+        ref_full = time_call(
+            lambda: Machine(
+                config, hierarchy_factory=ReferenceMemoryHierarchy
+            ).run_full(ref_workload),
+            REPEAT,
+        )
+        for fr, rr in zip(fast_full.value.regions, ref_full.value.regions):
+            _assert_metrics_identical(fr, rr)
+        report.add(name, "full_run", fast_full.seconds, ref_full.seconds)
+
+        # -- barrierpoint warmup capture + replay -------------------------
+        mid = workload.num_regions // 2
+        capacity = config.l3.num_lines
+
+        def _fast_replay():
+            data = FunctionalProfiler(workload).capture_warmup(
+                {mid}, capacity
+            )[mid]
+            machine = Machine(config)
+            return machine.simulate_barrierpoint(
+                workload, mid, MRUWarmup(data)
+            )
+
+        def _ref_replay():
+            data = ReferenceFunctionalProfiler(ref_workload).capture_warmup(
+                {mid}, capacity
+            )[mid]
+            machine = Machine(
+                config, hierarchy_factory=ReferenceMemoryHierarchy
+            )
+            return machine.simulate_barrierpoint(
+                ref_workload, mid, MRUWarmup(data)
+            )
+
+        fast_rep = time_call(_fast_replay, REPEAT)
+        ref_rep = time_call(_ref_replay, REPEAT)
+        _assert_metrics_identical(fast_rep.value, ref_rep.value)
+        report.add(name, "barrierpoint_replay",
+                   fast_rep.seconds, ref_rep.seconds)

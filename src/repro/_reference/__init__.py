@@ -1,0 +1,28 @@
+"""Reference (seed) implementations of the hot-path engines.
+
+These are the pre-optimization implementations, kept runnable for two
+purposes only:
+
+* **Parity**: randomized tests drive the fast engines and these references
+  with identical inputs and assert bit-identical outputs (stats, stack
+  distance histograms, MRU snapshots, simulated cycles and counters).
+* **Perf baselines**: ``benchmarks/test_perf.py`` times each fast engine
+  against its reference on the real workloads and records the speedups in
+  ``benchmarks/results/BENCH_perf.json``.
+
+Nothing in the library runtime imports this package.
+"""
+
+from repro._reference.cache import ReferenceSetAssocCache
+from repro._reference.hierarchy import ReferenceMemoryHierarchy
+from repro._reference.ldv import ReferenceLruStackProfiler
+from repro._reference.mru import ReferenceMRUTracker
+from repro._reference.profiler import ReferenceFunctionalProfiler
+
+__all__ = [
+    "ReferenceFunctionalProfiler",
+    "ReferenceLruStackProfiler",
+    "ReferenceMRUTracker",
+    "ReferenceMemoryHierarchy",
+    "ReferenceSetAssocCache",
+]

@@ -1,12 +1,10 @@
-"""Set-associative LRU cache model.
+"""Seed list-based LRU cache, kept as a parity/benchmark reference.
 
-Each set is an insertion-ordered dict mapping resident line address to
-``None``: dict order is LRU (oldest entry) to MRU (newest), so hit
-promotion is a delete + reinsert and eviction pops the first key — all
-O(1) amortized, where the seed's list-based sets paid an O(associativity)
-scan per probe.  Lines are cache-line addresses (already divided by the
-64-byte line size).  The model tracks presence and dirtiness only — data
-values never matter to timing.
+Each set is a Python list ordered least- to most-recently used, so
+``in``/``remove`` are O(associativity) scans per access — the cost the
+dict-based :class:`~repro.mem.cache.SetAssocCache` eliminated.  Behavior
+(including every stats counter) is identical by construction and enforced
+by the randomized parity tests.
 """
 
 from __future__ import annotations
@@ -14,54 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import CacheConfig
-
-#: Sentinel distinguishing "absent" from a stored value in ``dict.pop``.
-_MISS = object()
+from repro.mem.cache import CacheStats, _EvictedLine
 
 
 @dataclass
-class CacheStats:
-    """Hit/miss/eviction counters for one cache instance."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    dirty_evictions: int = 0
-    invalidations: int = 0
-
-    @property
-    def accesses(self) -> int:
-        """Total lookups observed."""
-        return self.hits + self.misses
-
-    @property
-    def miss_rate(self) -> float:
-        """Miss fraction; 0.0 when no accesses were made."""
-        total = self.accesses
-        return self.misses / total if total else 0.0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.hits = self.misses = self.evictions = 0
-        self.dirty_evictions = self.invalidations = 0
-
-
-@dataclass
-class _EvictedLine:
-    """An evicted line and whether it was dirty."""
-
-    line: int
-    dirty: bool
-
-
-@dataclass
-class SetAssocCache:
-    """LRU set-associative cache of line addresses.
-
-    The per-set dicts hold resident lines in LRU-to-MRU insertion order;
-    dirty lines are tracked in a side set, so hit paths stay one dict
-    operation.
-    """
+class ReferenceSetAssocCache:
+    """Seed LRU set-associative cache of line addresses."""
 
     config: CacheConfig
     stats: CacheStats = field(default_factory=CacheStats)
@@ -70,9 +26,7 @@ class SetAssocCache:
         self._num_sets = self.config.num_sets
         self._set_mask = self._num_sets - 1
         self._assoc = self.config.associativity
-        self._sets: list[dict[int, None]] = [
-            {} for _ in range(self._num_sets)
-        ]
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
         self._dirty: set[int] = set()
 
     @property
@@ -83,8 +37,9 @@ class SetAssocCache:
     def lookup(self, line: int) -> bool:
         """Probe for ``line``; on hit, promote to MRU. Updates stats."""
         s = self._sets[line & self._set_mask]
-        if s.pop(line, _MISS) is not _MISS:
-            s[line] = None  # reinsert at MRU position
+        if line in s:
+            s.remove(line)
+            s.append(line)
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -97,22 +52,22 @@ class SetAssocCache:
     def fill(self, line: int, dirty: bool = False) -> _EvictedLine | None:
         """Insert ``line`` at MRU; return the victim if one was evicted."""
         s = self._sets[line & self._set_mask]
-        if s.pop(line, _MISS) is not _MISS:
-            s[line] = None
+        if line in s:
+            s.remove(line)
+            s.append(line)
             if dirty:
                 self._dirty.add(line)
             return None
         victim = None
         if len(s) >= self._assoc:
-            old = next(iter(s))
-            del s[old]
+            old = s.pop(0)
             was_dirty = old in self._dirty
             if was_dirty:
                 self._dirty.discard(old)
                 self.stats.dirty_evictions += 1
             self.stats.evictions += 1
             victim = _EvictedLine(old, was_dirty)
-        s[line] = None
+        s.append(line)
         if dirty:
             self._dirty.add(line)
         return victim
@@ -129,7 +84,8 @@ class SetAssocCache:
     def remove(self, line: int) -> bool:
         """Invalidate ``line`` (coherence); returns True if it was present."""
         s = self._sets[line & self._set_mask]
-        if s.pop(line, _MISS) is not _MISS:
+        if line in s:
+            s.remove(line)
             self._dirty.discard(line)
             self.stats.invalidations += 1
             return True

@@ -1,0 +1,75 @@
+"""Seed bucketed-cascade stack profiler, kept as a parity/benchmark reference.
+
+A bucketed Mattson stack: bucket ``i`` holds the lines at stack positions
+``[2^i - 1, 2^{i+1} - 1)`` as an insertion-ordered dict; an access removes
+the line from its bucket (that bucket index *is* the power-of-two distance
+bin), reinserts at bucket 0 and cascades overflow demotions.  Exact at
+bucket granularity, but the cascade walks O(log n) dict levels per cold
+access in a Python loop — the cost the chunked engine in
+:mod:`repro.profiling.stackdist` eliminated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.ldv import COLD_BUCKET, NUM_LDV_BUCKETS
+
+
+class ReferenceLruStackProfiler:
+    """Seed streaming stack-distance histogrammer for one thread."""
+
+    __slots__ = ("_buckets", "_pos", "_hist")
+
+    def __init__(self) -> None:
+        self._buckets: list[dict[int, None]] = [
+            {} for _ in range(COLD_BUCKET)
+        ]
+        self._pos: dict[int, int] = {}
+        self._hist = [0] * NUM_LDV_BUCKETS
+
+    @property
+    def unique_lines(self) -> int:
+        """Number of distinct lines ever observed (stack depth)."""
+        return len(self._pos)
+
+    def observe(self, lines: np.ndarray) -> None:
+        """Stream a batch of line accesses through the LRU stack."""
+        buckets = self._buckets
+        pos = self._pos
+        hist = self._hist
+        max_bucket = COLD_BUCKET - 1
+        for line in lines.tolist():
+            b = pos.get(line, -1)
+            if b < 0:
+                hist[COLD_BUCKET] += 1
+            else:
+                hist[b] += 1
+                del buckets[b][line]
+            bucket0 = buckets[0]
+            bucket0[line] = None
+            pos[line] = 0
+            # Cascade overflow demotions; bucket i holds at most 2^i lines.
+            i = 0
+            cap = 1
+            while len(buckets[i]) > cap and i < max_bucket:
+                victim = next(iter(buckets[i]))
+                del buckets[i][victim]
+                nxt = i + 1
+                buckets[nxt][victim] = None
+                pos[victim] = nxt
+                i = nxt
+                cap <<= 1
+
+    def take_histogram(self) -> np.ndarray:
+        """Return the histogram accumulated since the last call, and reset."""
+        out = np.asarray(self._hist, dtype=np.float64)
+        self._hist = [0] * NUM_LDV_BUCKETS
+        return out
+
+    def reset(self) -> None:
+        """Forget all stack state and the pending histogram."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._pos.clear()
+        self._hist = [0] * NUM_LDV_BUCKETS

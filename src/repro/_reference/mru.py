@@ -1,0 +1,49 @@
+"""Seed per-access MRU tracker, kept as a parity/benchmark reference."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.warmup import MRUWarmupData
+
+
+class ReferenceMRUTracker:
+    """Seed per-core MRU line tracking with bounded capacity."""
+
+    def __init__(self, num_cores: int, capacity_lines: int) -> None:
+        if num_cores <= 0:
+            raise WorkloadError("num_cores must be positive")
+        if capacity_lines <= 0:
+            raise WorkloadError("capacity_lines must be positive")
+        self.capacity_lines = capacity_lines
+        # Insertion-ordered dicts: oldest entry first; value = was_write.
+        self._per_core: list[dict[int, bool]] = [{} for _ in range(num_cores)]
+
+    def observe(self, core: int, lines: np.ndarray, writes: np.ndarray) -> None:
+        """Stream one block's references for ``core`` through the tracker."""
+        table = self._per_core[core]
+        cap = self.capacity_lines
+        for line, w in zip(lines.tolist(), writes.tolist()):
+            prev = table.pop(line, False)
+            # Dirtiness is sticky while the line stays tracked: a line
+            # written and later read is still dirty in the cache, and the
+            # replay must restore Modified state or eviction writebacks
+            # (DRAM bandwidth) would be lost.
+            table[line] = w or prev
+            if len(table) > cap:
+                oldest = next(iter(table))
+                del table[oldest]
+
+    def snapshot(self, region_index: int) -> MRUWarmupData:
+        """Freeze current state as warmup data for ``region_index``."""
+        return MRUWarmupData(
+            region_index=region_index,
+            per_core=tuple(
+                tuple(table.items()) for table in self._per_core
+            ),
+        )
+
+    def occupancy(self, core: int) -> int:
+        """Number of lines currently tracked for ``core``."""
+        return len(self._per_core[core])

@@ -1,0 +1,94 @@
+"""Seed functional profiler, kept as a parity/benchmark reference.
+
+Identical flow to :class:`~repro.profiling.profiler.FunctionalProfiler`
+but driving the seed cascade stacks and per-access MRU tracker, one
+``observe`` per block execution (the fast profiler concatenates each
+thread's region stream into one chunk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._reference.ldv import ReferenceLruStackProfiler
+from repro._reference.mru import ReferenceMRUTracker
+from repro.errors import WorkloadError
+from repro.profiling.bbv import collect_region_bbv
+from repro.profiling.ldv import NUM_LDV_BUCKETS
+from repro.profiling.profiler import RegionProfile
+from repro.sim.warmup import MRUWarmupData
+from repro.workloads.base import Workload
+
+
+class ReferenceFunctionalProfiler:
+    """Seed one-pass profiler over a whole workload."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+
+    def profile(self) -> list[RegionProfile]:
+        """One functional pass over every region, in program order."""
+        workload = self.workload
+        num_blocks = workload.num_static_blocks
+        stacks = [
+            ReferenceLruStackProfiler() for _ in range(workload.num_threads)
+        ]
+        profiles: list[RegionProfile] = []
+        for trace in workload.iter_regions():
+            bbv = collect_region_bbv(trace, num_blocks)
+            ldv = np.zeros(
+                (workload.num_threads, NUM_LDV_BUCKETS), dtype=np.float64
+            )
+            for thread in trace.threads:
+                stack = stacks[thread.thread_id]
+                for exec_ in thread.blocks:
+                    if exec_.lines.size:
+                        stack.observe(exec_.lines)
+                ldv[thread.thread_id] = stack.take_histogram()
+            profiles.append(
+                RegionProfile(
+                    region_index=trace.region_index,
+                    phase=trace.phase,
+                    instructions=trace.instructions,
+                    per_thread_instructions=tuple(
+                        t.instructions for t in trace.threads
+                    ),
+                    bbv=bbv,
+                    ldv=ldv,
+                )
+            )
+        return profiles
+
+    def capture_warmup(
+        self, barrierpoint_regions: set[int], llc_capacity_lines: int
+    ) -> dict[int, MRUWarmupData]:
+        """Second pass: snapshot MRU state at each selected barrierpoint."""
+        workload = self.workload
+        if not barrierpoint_regions:
+            return {}
+        bad = {
+            r for r in barrierpoint_regions
+            if not 0 <= r < workload.num_regions
+        }
+        if bad:
+            raise WorkloadError(
+                f"barrierpoint regions out of range: {sorted(bad)}"
+            )
+        tracker = ReferenceMRUTracker(
+            workload.num_threads, llc_capacity_lines
+        )
+        snapshots: dict[int, MRUWarmupData] = {}
+        last_needed = max(barrierpoint_regions)
+        for trace in workload.iter_regions():
+            idx = trace.region_index
+            if idx in barrierpoint_regions:
+                snapshots[idx] = tracker.snapshot(idx)
+            if idx >= last_needed:
+                break
+            for thread in trace.threads:
+                for exec_ in thread.blocks:
+                    if exec_.lines.size:
+                        tracker.observe(
+                            thread.thread_id, exec_.lines, exec_.writes
+                        )
+        return snapshots

@@ -13,13 +13,14 @@ core via the interval model, and DRAM writeback bandwidth is charged when a
 modified line leaves an L3 or is downgraded by a remote reader.
 
 ``access_block`` is the hot path: it processes a whole reference stream of
-one :class:`~repro.trace.program.BlockExec` with locals bound outside the
-loop.  Keep it free of per-access allocations.
+one :class:`~repro.trace.program.BlockExec` against dict-based O(1) LRU
+sets, with all per-core invariants (set tables, masks, latencies) bound
+once per core in ``_ctx`` and all statistics accumulated in locals that
+are flushed once per call.  Keep it free of per-access allocations and
+attribute lookups.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.config import MachineConfig
 from repro.errors import SimulationError
@@ -28,6 +29,9 @@ from repro.mem.directory import Directory
 from repro.mem.dram import Dram
 
 _STORE_STALL_FRACTION = 0.3  # store misses retire through the store buffer
+
+#: Sentinel distinguishing "absent" from a stored value in ``dict.pop``.
+_MISS = object()
 
 
 class AccessCounters:
@@ -99,13 +103,18 @@ class AccessCounters:
 class MemoryHierarchy:
     """Caches + directory + DRAM for one simulated machine."""
 
+    #: Cache model class; the reference (seed) implementation swaps in the
+    #: list-based variant for parity tests and perf baselines.
+    cache_cls = SetAssocCache
+
     def __init__(self, machine: MachineConfig) -> None:
         self.machine = machine
         n_cores = machine.num_cores
-        self.l1i = [SetAssocCache(machine.l1i) for _ in range(n_cores)]
-        self.l1d = [SetAssocCache(machine.l1d) for _ in range(n_cores)]
-        self.l2 = [SetAssocCache(machine.l2) for _ in range(n_cores)]
-        self.l3 = [SetAssocCache(machine.l3) for _ in range(machine.num_sockets)]
+        cache_cls = self.cache_cls
+        self.l1i = [cache_cls(machine.l1i) for _ in range(n_cores)]
+        self.l1d = [cache_cls(machine.l1d) for _ in range(n_cores)]
+        self.l2 = [cache_cls(machine.l2) for _ in range(n_cores)]
+        self.l3 = [cache_cls(machine.l3) for _ in range(machine.num_sockets)]
         self.directory = Directory(num_cores=n_cores)
         self.dram = Dram(machine)
         self._socket_of = [machine.socket_of(c) for c in range(n_cores)]
@@ -116,6 +125,9 @@ class MemoryHierarchy:
         self._socket_mask = [
             sum(1 << c for c in cores) for cores in self._cores_of_socket
         ]
+        self._num_sockets = machine.num_sockets
+        self._dram_reads = self.dram.stats.reads_per_socket
+        self._dram_wbs = self.dram.stats.writebacks_per_socket
         self._loads = 0
         self._stores = 0
         self._l1d_misses = 0
@@ -123,6 +135,41 @@ class MemoryHierarchy:
         self._c2c = 0
         self._writebacks = 0
         self._l1i_misses = 0
+        # Per-core hot-path context: everything ``access_block`` needs,
+        # bound once (caches are flushed in place, never replaced, so the
+        # bindings stay valid for the hierarchy's lifetime).
+        remote_lat = (
+            machine.l3.latency_cycles + machine.remote_socket_extra_cycles
+        )
+        # Inclusion-purge context, indexed by core: the set tables and
+        # stats of the private caches the inlined L3 eviction must probe.
+        self._purge = [
+            (
+                self.l1d[core]._sets, self.l1d[core]._set_mask,
+                self.l1d[core].stats, self.l1d[core]._dirty,
+                self.l2[core]._sets, self.l2[core]._set_mask,
+                self.l2[core].stats, self.l2[core]._dirty,
+            )
+            for core in range(n_cores)
+        ]
+        self._ctx = []
+        for core in range(n_cores):
+            socket = self._socket_of[core]
+            l1 = self.l1d[core]
+            l2 = self.l2[core]
+            l3 = self.l3[socket]
+            self._ctx.append((
+                socket,
+                l1.stats, l1._sets, l1._set_mask, l1._assoc,
+                l2.stats, l2._sets, l2._set_mask, l2._assoc,
+                l3.stats, l3._sets, l3._set_mask, l3._assoc, l3._dirty,
+                l2.config.latency_cycles,
+                l3.config.latency_cycles,
+                self.dram.latency_cycles,
+                remote_lat,
+                1 << core,
+                self._socket_mask[socket],
+            ))
 
     # ------------------------------------------------------------------
     # Counter management
@@ -147,50 +194,28 @@ class MemoryHierarchy:
     # Internal helpers
     # ------------------------------------------------------------------
 
-    def _l3_fill(self, socket: int, line: int) -> None:
-        """Fill ``line`` into a socket's L3, handling inclusive eviction."""
-        victim = self.l3[socket].fill(line)
-        if victim is None:
-            return
-        vline = victim.line
-        dir_sharers = self.directory._sharers
-        dir_owner = self.directory._owner
-        owner = dir_owner.get(vline, -1)
-        if owner >= 0 and self._socket_of[owner] == socket:
-            self.dram.writeback(socket)
-            self._writebacks += 1
-            del dir_owner[vline]
-        # Inclusion: purge the victim from this socket's private caches.
-        # The directory sharer mask tells us which cores can possibly hold
-        # it, so streaming victims (one sharer) cost one probe, not 2*cores.
-        mask = dir_sharers.get(vline, 0)
-        if mask:
-            local = mask & self._socket_mask[socket]
-            core = 0
-            while local:
-                if local & 1:
-                    self.l1d[core].remove(vline)
-                    self.l2[core].remove(vline)
-                local >>= 1
-                core += 1
-            rest = mask & ~self._socket_mask[socket]
-            if rest:
-                dir_sharers[vline] = rest
-            else:
-                del dir_sharers[vline]
-
     def _invalidate_remote(self, line: int, mask: int, my_socket: int) -> bool:
         """Remove ``line`` from all cores in ``mask``; True if any was remote."""
         remote = False
-        core = 0
+        purge = self._purge
+        socket_of = self._socket_of
+        miss = _MISS
         while mask:
-            if mask & 1:
-                self.l1d[core].remove(line)
-                self.l2[core].remove(line)
-                if self._socket_of[core] != my_socket:
-                    remote = True
-            mask >>= 1
-            core += 1
+            low = mask & -mask
+            mask ^= low
+            core = low.bit_length() - 1
+            (p1_sets, p1_mask, p1_stats, p1_dirty,
+             p2_sets, p2_mask, p2_stats, p2_dirty) = purge[core]
+            s = p1_sets[line & p1_mask]
+            if s.pop(line, miss) is not miss:
+                p1_dirty.discard(line)
+                p1_stats.invalidations += 1
+            s = p2_sets[line & p2_mask]
+            if s.pop(line, miss) is not miss:
+                p2_dirty.discard(line)
+                p2_stats.invalidations += 1
+            if socket_of[core] != my_socket:
+                remote = True
         return remote
 
     # ------------------------------------------------------------------
@@ -199,68 +224,73 @@ class MemoryHierarchy:
 
     def access(self, core: int, line: int, is_write: bool) -> int:
         """One data reference; returns the extra latency beyond L1 (cycles)."""
-        lines = np.array([line], dtype=np.int64)
-        writes = np.array([is_write], dtype=bool)
-        return round(self.access_block(core, lines, writes, mlp=1.0))
+        return round(self.access_block(core, [line], [bool(is_write)], mlp=1.0))
 
     def access_block(self, core, lines, writes, mlp: float) -> float:
         """Process one block's reference stream; returns stall cycles.
 
-        The returned stalls are the sum of beyond-L1 latencies divided by
+        ``lines``/``writes`` may be numpy arrays or plain lists.  The
+        returned stalls are the sum of beyond-L1 latencies divided by
         the block's memory-level parallelism (interval-model style); store
         latencies are further scaled by the store-buffer fraction.
         """
         if mlp < 1.0:
             raise SimulationError(f"mlp must be >= 1, got {mlp}")
-        socket = self._socket_of[core]
-        l1 = self.l1d[core]
-        l2 = self.l2[core]
-        l3 = self.l3[socket]
-        l1_sets = l1._sets
-        l1_mask = l1._set_mask
-        l1_assoc = l1._assoc
-        l2_sets = l2._sets
-        l2_mask = l2._set_mask
-        l2_assoc = l2._assoc
-        l2_lat = l2.config.latency_cycles
-        l3_lat = l3.config.latency_cycles
-        dram_lat = self.dram.latency_cycles
-        remote_lat = l3_lat + self.machine.remote_socket_extra_cycles
+        (socket,
+         l1_stats, l1_sets, l1_mask, l1_assoc,
+         l2_stats, l2_sets, l2_mask, l2_assoc,
+         l3_stats, l3_sets, l3_mask, l3_assoc, l3_dirty,
+         l2_lat, l3_lat, dram_lat, remote_lat, my_bit,
+         socket_mask) = self._ctx[core]
         directory = self.directory
         dir_sharers = directory._sharers
         dir_owner = directory._owner
+        sharers_get = dir_sharers.get
+        owner_get = dir_owner.get
         dir_stats = directory.stats
-        my_bit = 1 << core
-        num_sockets = self.machine.num_sockets
-        dram_reads = self.dram.stats.reads_per_socket
+        num_sockets = self._num_sockets
+        dram_reads = self._dram_reads
+        dram_wbs = self._dram_wbs
+        socket_of = self._socket_of
+        purge = self._purge
+        l3_caches = self.l3
+        miss = _MISS
 
-        loads = stores = l1d_misses = l2_misses = c2c = 0
+        loads = stores = l1d_misses = l2_misses = c2c = writebacks = 0
+        l1_hits = l1_missc = l1_evic = 0
+        l2_hits = l2_missc = l2_evic = 0
+        l3_hits = l3_missc = l3_evic = l3_dirty_evic = 0
+        invals_sent = downgrades = c2c_dir = 0
         stall = 0.0
 
-        for line, w in zip(lines.tolist(), writes.tolist()):
+        if type(lines) is not list:
+            lines = lines.tolist()
+        if type(writes) is not list:
+            writes = writes.tolist()
+        for line, w in zip(lines, writes):
             extra = 0
             if w:
                 stores += 1
-                prev_owner = dir_owner.get(line, -1)
+                prev_owner = owner_get(line, -1)
                 if prev_owner != core:
-                    mask = dir_sharers.get(line, 0) & ~my_bit
+                    mask = sharers_get(line, 0) & ~my_bit
                     if mask or prev_owner >= 0:
                         if mask:
-                            dir_stats.invalidations_sent += bin(mask).count("1")
+                            invals_sent += mask.bit_count()
                             remote = self._invalidate_remote(line, mask, socket)
                         else:
                             remote = False
                         if prev_owner >= 0:
                             # Remote M copy: transfer + writeback on downgrade.
-                            self.dram.writeback(self._socket_of[prev_owner])
-                            self._writebacks += 1
-                            remote = remote or self._socket_of[prev_owner] != socket
+                            prev_socket = socket_of[prev_owner]
+                            dram_wbs[prev_socket] += 1
+                            writebacks += 1
+                            remote = remote or prev_socket != socket
                             c2c += 1
                         if num_sockets > 1:
-                            l3s = self.l3
-                            for s in range(num_sockets):
-                                if s != socket:
-                                    l3s[s].remove(line)
+                            for sk in range(num_sockets):
+                                if sk != socket:
+                                    l3_caches[sk].remove(line)
                         extra = remote_lat if remote else l3_lat
                     dir_sharers[line] = my_bit
                     dir_owner[line] = core
@@ -269,68 +299,115 @@ class MemoryHierarchy:
 
             # L1D probe.
             s = l1_sets[line & l1_mask]
-            if line in s:
-                s.remove(line)
-                s.append(line)
-                l1.stats.hits += 1
+            if s.pop(line, miss) is not miss:
+                s[line] = None  # promote to MRU
+                l1_hits += 1
                 if w and extra:
                     stall += extra * _STORE_STALL_FRACTION
                 continue
-            l1.stats.misses += 1
+            l1_missc += 1
             l1d_misses += 1
 
             # L2 probe.
             s2 = l2_sets[line & l2_mask]
-            if line in s2:
-                s2.remove(line)
-                s2.append(line)
-                l2.stats.hits += 1
+            if s2.pop(line, miss) is not miss:
+                s2[line] = None
+                l2_hits += 1
                 extra += l2_lat
             else:
-                l2.stats.misses += 1
+                l2_missc += 1
                 l2_misses += 1
                 # L3 probe.
-                if l3.lookup(line):
+                s3 = l3_sets[line & l3_mask]
+                if s3.pop(line, miss) is not miss:
+                    s3[line] = None
+                    l3_hits += 1
                     extra += l3_lat
                 else:
-                    owner = dir_owner.get(line, -1)
+                    l3_missc += 1
+                    owner = owner_get(line, -1)
                     if owner >= 0 and owner != core:
                         # Dirty in a remote private hierarchy: cache-to-cache
                         # transfer plus MSI downgrade writeback.
+                        owner_socket = socket_of[owner]
                         extra += (
                             remote_lat
-                            if self._socket_of[owner] != socket
+                            if owner_socket != socket
                             else l3_lat + l2_lat
                         )
                         if not w:
                             del dir_owner[line]
-                            dir_stats.downgrades += 1
-                            self.dram.writeback(self._socket_of[owner])
-                            self._writebacks += 1
-                        dir_stats.cache_to_cache += 1
+                            downgrades += 1
+                            dram_wbs[owner_socket] += 1
+                            writebacks += 1
+                        c2c_dir += 1
                         c2c += 1
                     else:
                         extra += dram_lat
                         dram_reads[socket] += 1
-                    self._l3_fill(socket, line)
+                    # Fill L3 (inlined), handling inclusive eviction.
+                    if len(s3) >= l3_assoc:
+                        vline = next(iter(s3))
+                        del s3[vline]
+                        if vline in l3_dirty:
+                            l3_dirty.discard(vline)
+                            l3_dirty_evic += 1
+                        l3_evic += 1
+                        vowner = owner_get(vline, -1)
+                        if vowner >= 0 and socket_of[vowner] == socket:
+                            dram_wbs[socket] += 1
+                            writebacks += 1
+                            del dir_owner[vline]
+                        # Inclusion: purge the victim from this socket's
+                        # private caches.  The directory sharer mask tells
+                        # us which cores can possibly hold it, so streaming
+                        # victims (one sharer) cost one probe, not 2*cores.
+                        # NOTE: this bit-scan purge is a deliberate inline
+                        # copy of _invalidate_remote's body (minus the
+                        # remote-socket test) — keep the two in sync.
+                        vmask = sharers_get(vline, 0)
+                        if vmask:
+                            local = vmask & socket_mask
+                            while local:
+                                low = local & -local
+                                local ^= low
+                                (p1_sets, p1_mask, p1_stats, p1_dirty,
+                                 p2_sets, p2_mask, p2_stats,
+                                 p2_dirty) = purge[low.bit_length() - 1]
+                                ps = p1_sets[vline & p1_mask]
+                                if ps.pop(vline, miss) is not miss:
+                                    p1_dirty.discard(vline)
+                                    p1_stats.invalidations += 1
+                                ps = p2_sets[vline & p2_mask]
+                                if ps.pop(vline, miss) is not miss:
+                                    p2_dirty.discard(vline)
+                                    p2_stats.invalidations += 1
+                            rest = vmask & ~socket_mask
+                            if rest:
+                                dir_sharers[vline] = rest
+                            else:
+                                del dir_sharers[vline]
+                    s3[line] = None
                 # Fill L2.
                 if len(s2) >= l2_assoc:
-                    s2.pop(0)
-                    l2.stats.evictions += 1
-                s2.append(line)
+                    old = next(iter(s2))
+                    del s2[old]
+                    l2_evic += 1
+                s2[line] = None
 
             # Fill L1.
             if len(s) >= l1_assoc:
-                s.pop(0)
-                l1.stats.evictions += 1
-            s.append(line)
+                old = next(iter(s))
+                del s[old]
+                l1_evic += 1
+            s[line] = None
 
             if not w:
-                dir_sharers[line] = dir_sharers.get(line, 0) | my_bit
-                prev_owner = dir_owner.get(line, -1)
+                dir_sharers[line] = sharers_get(line, 0) | my_bit
+                prev_owner = owner_get(line, -1)
                 if prev_owner >= 0 and prev_owner != core:
                     del dir_owner[line]
-                    dir_stats.downgrades += 1
+                    downgrades += 1
                 stall += extra
             else:
                 stall += extra * _STORE_STALL_FRACTION
@@ -340,16 +417,43 @@ class MemoryHierarchy:
         self._l1d_misses += l1d_misses
         self._l2_misses += l2_misses
         self._c2c += c2c
+        self._writebacks += writebacks
+        l1_stats.hits += l1_hits
+        l1_stats.misses += l1_missc
+        l1_stats.evictions += l1_evic
+        l2_stats.hits += l2_hits
+        l2_stats.misses += l2_missc
+        l2_stats.evictions += l2_evic
+        l3_stats.hits += l3_hits
+        l3_stats.misses += l3_missc
+        l3_stats.evictions += l3_evic
+        l3_stats.dirty_evictions += l3_dirty_evic
+        dir_stats.invalidations_sent += invals_sent
+        dir_stats.downgrades += downgrades
+        dir_stats.cache_to_cache += c2c_dir
         return stall / mlp
 
     def access_code(self, core: int, code_lines: tuple[int, ...]) -> int:
         """Instruction-fetch touch of a block's code lines; returns stalls."""
         l1i = self.l1i[core]
+        sets = l1i._sets
+        set_mask = l1i._set_mask
+        stats = l1i.stats
+        miss = _MISS
         extra = 0
         for line in code_lines:
-            if not l1i.lookup(line):
+            s = sets[line & set_mask]
+            if s.pop(line, miss) is not miss:
+                s[line] = None
+                stats.hits += 1
+            else:
+                stats.misses += 1
                 self._l1i_misses += 1
-                l1i.fill(line)
+                if len(s) >= l1i._assoc:
+                    old = next(iter(s))
+                    del s[old]
+                    stats.evictions += 1
+                s[line] = None
                 extra += self.l2[core].config.latency_cycles
         return extra
 
@@ -359,12 +463,16 @@ class MemoryHierarchy:
 
     def replay(self, core: int, line: int, was_write: bool) -> None:
         """Warmup replay of one captured line (latency discarded)."""
-        self.access_block(
-            core,
-            np.array([line], dtype=np.int64),
-            np.array([was_write], dtype=bool),
-            mlp=1.0,
-        )
+        self.access_block(core, [line], [was_write], mlp=1.0)
+
+    def replay_block(self, core: int, lines, writes) -> None:
+        """Warmup replay of a batch of captured lines for one core.
+
+        ``lines``/``writes`` may be lists or numpy arrays; semantically
+        identical to calling :meth:`replay` per entry, without the
+        per-line call overhead.
+        """
+        self.access_block(core, lines, writes, mlp=1.0)
 
     def flush_all(self) -> None:
         """Cold-start: empty every cache and the directory."""

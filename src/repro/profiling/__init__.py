@@ -10,12 +10,15 @@ from repro.profiling.bbv import collect_region_bbv
 from repro.profiling.ldv import LruStackProfiler, NUM_LDV_BUCKETS
 from repro.profiling.mru import MRUTracker
 from repro.profiling.profiler import FunctionalProfiler, RegionProfile
+from repro.profiling.stackdist import OlkenStackProfiler, StackDistanceEngine
 
 __all__ = [
     "FunctionalProfiler",
     "LruStackProfiler",
     "MRUTracker",
     "NUM_LDV_BUCKETS",
+    "OlkenStackProfiler",
     "RegionProfile",
+    "StackDistanceEngine",
     "collect_region_bbv",
 ]

@@ -19,8 +19,9 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.profiling.bbv import collect_region_bbv
-from repro.profiling.ldv import NUM_LDV_BUCKETS, LruStackProfiler
+from repro.profiling.ldv import NUM_LDV_BUCKETS, bucketize
 from repro.profiling.mru import MRUTracker
+from repro.profiling.stackdist import FLUSH_THRESHOLD, StackDistanceEngine
 from repro.sim.warmup import MRUWarmupData
 from repro.workloads.base import Workload
 
@@ -47,6 +48,59 @@ class RegionProfile:
         return self.bbv.shape[0]
 
 
+class _LdvBatcher:
+    """Per-thread LDV accumulation across region boundaries.
+
+    Region streams are buffered and flushed through the exact-distance
+    engine in ~:data:`FLUSH_THRESHOLD`-access batches; each flush splits
+    its bucketized distances back to the originating regions, so the
+    per-region histograms are identical to per-region observation while
+    tiny regions stop paying the engine's fixed per-chunk cost.
+    """
+
+    __slots__ = ("engine", "hist", "_chunks", "_regions", "_pending")
+
+    def __init__(self, num_regions: int) -> None:
+        self.engine = StackDistanceEngine()
+        self.hist = np.zeros((num_regions, NUM_LDV_BUCKETS), dtype=np.int64)
+        self._chunks: list[np.ndarray] = []
+        self._regions: list[int] = []
+        self._pending = 0
+
+    def add(self, region_index: int, lines: np.ndarray) -> None:
+        """Buffer one region stream; flush when the batch is large enough.
+
+        ``lines`` is held by reference until the flush — callers must not
+        mutate it afterwards.
+        """
+        self._chunks.append(lines)
+        self._regions.append(region_index)
+        self._pending += int(lines.size)
+        if self._pending >= FLUSH_THRESHOLD:
+            self.flush()
+
+    def flush(self) -> None:
+        """Run the buffered batch through the engine, split per region."""
+        chunks = self._chunks
+        if not chunks:
+            return
+        lines = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        sizes = [c.size for c in chunks]
+        regions = self._regions
+        self._chunks = []
+        self._regions = []
+        self._pending = 0
+        buckets = bucketize(self.engine.observe(lines).distances)
+        lo = regions[0]
+        segments = np.repeat(np.asarray(regions, dtype=np.int64) - lo, sizes)
+        span = regions[-1] - lo + 1
+        counts = np.bincount(
+            segments * NUM_LDV_BUCKETS + buckets,
+            minlength=span * NUM_LDV_BUCKETS,
+        )
+        self.hist[lo:lo + span] += counts.reshape(span, NUM_LDV_BUCKETS)
+
+
 class FunctionalProfiler:
     """Collects :class:`RegionProfile` s for a whole workload."""
 
@@ -62,27 +116,41 @@ class FunctionalProfiler:
         """
         workload = self.workload
         num_blocks = workload.num_static_blocks
-        stacks = [LruStackProfiler() for _ in range(workload.num_threads)]
-        profiles: list[RegionProfile] = []
+        num_regions = workload.num_regions
+        batchers = [
+            _LdvBatcher(num_regions) for _ in range(workload.num_threads)
+        ]
+        pending: list[tuple] = []
         for trace in workload.iter_regions():
             bbv = collect_region_bbv(trace, num_blocks)
-            ldv = np.zeros(
-                (workload.num_threads, NUM_LDV_BUCKETS), dtype=np.float64
-            )
             for thread in trace.threads:
-                stack = stacks[thread.thread_id]
-                for exec_ in thread.blocks:
-                    if exec_.lines.size:
-                        stack.observe(exec_.lines)
-                ldv[thread.thread_id] = stack.take_histogram()
+                chunks = [e.lines for e in thread.blocks if e.lines.size]
+                if chunks:
+                    batchers[thread.thread_id].add(
+                        trace.region_index,
+                        chunks[0] if len(chunks) == 1
+                        else np.concatenate(chunks),
+                    )
+            pending.append((
+                trace.region_index,
+                trace.phase,
+                trace.instructions,
+                tuple(t.instructions for t in trace.threads),
+                bbv,
+            ))
+        for batcher in batchers:
+            batcher.flush()
+        profiles: list[RegionProfile] = []
+        for region_index, phase, instructions, per_thread, bbv in pending:
+            ldv = np.stack([
+                b.hist[region_index].astype(np.float64) for b in batchers
+            ])
             profiles.append(
                 RegionProfile(
-                    region_index=trace.region_index,
-                    phase=trace.phase,
-                    instructions=trace.instructions,
-                    per_thread_instructions=tuple(
-                        t.instructions for t in trace.threads
-                    ),
+                    region_index=region_index,
+                    phase=phase,
+                    instructions=instructions,
+                    per_thread_instructions=per_thread,
                     bbv=bbv,
                     ldv=ldv,
                 )
@@ -117,9 +185,16 @@ class FunctionalProfiler:
             if idx >= last_needed:
                 break
             for thread in trace.threads:
-                for exec_ in thread.blocks:
-                    if exec_.lines.size:
-                        tracker.observe(
-                            thread.thread_id, exec_.lines, exec_.writes
-                        )
+                chunks = [
+                    (e.lines, e.writes) for e in thread.blocks
+                    if e.lines.size
+                ]
+                if not chunks:
+                    continue
+                if len(chunks) == 1:
+                    lines, writes = chunks[0]
+                else:
+                    lines = np.concatenate([c[0] for c in chunks])
+                    writes = np.concatenate([c[1] for c in chunks])
+                tracker.observe(thread.thread_id, lines, writes)
         return snapshots

@@ -1,0 +1,398 @@
+"""Exact LRU stack distances, computed chunk-at-a-time with numpy.
+
+Two implementations of the same Bennett–Kruskal/Olken idea live here.
+Both maintain, per distinct line, the *timestamp of its last access*; the
+stack distance of an access is then the number of last-access timestamps
+newer than the accessed line's own — an order-statistic query over the
+active-timestamp set.
+
+:class:`OlkenStackProfiler` is the textbook streaming form: a dict of
+last-access times plus a :class:`~repro.util.fenwick.FenwickTree` holding
+one bit per active timestamp, O(log n) per access.  It is exact and has no
+batching requirements, but each access runs a Python-level tree walk.
+
+:class:`StackDistanceEngine` is the hot-path form used by the profilers:
+it consumes whole numpy chunks and keeps the order-statistic structure as
+a flat *sorted array* of active timestamps (new timestamps only ever
+append at the tail, so maintenance is a vectorized delete + append rather
+than per-access tree updates).  Within a chunk, distances decompose into
+
+* intra-chunk reuses, solved offline through the interval-crossing
+  identity ``dist(i) = #{t in (prev_i, i) : next_t >= i}`` which reduces
+  to one ``searchsorted`` plus a left-smaller-count over the reuse
+  intervals (:func:`left_smaller_counts`), and
+* first-in-chunk accesses of previously seen lines, solved as
+  ``G + B - C``: ``G`` counts pre-chunk lines touched since the line's
+  last access (one vectorized order-statistic query against the sorted
+  timestamp array), ``B`` counts distinct chunk lines already touched
+  (a cumulative sum), and ``C`` removes the overlap (another
+  left-smaller-count, over the pre-chunk timestamps).
+
+Every path is exact — parity with the naive Mattson stack is enforced by
+randomized tests — so callers may bucket, threshold, or histogram the
+returned distances however they like.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.util.fenwick import FenwickTree
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+#: Block edge below which left_smaller_counts uses direct pairwise
+#: comparison instead of merge counting (kills the 5 cheapest levels).
+_LSC_BASE = 32
+_LSC_TRIL = np.tril(np.ones((_LSC_BASE, _LSC_BASE), dtype=bool), k=-1)
+
+#: Accesses to accumulate before a batched caller should flush a chunk
+#: through the engine; tuned so per-chunk numpy overhead amortizes while
+#: the offline merge counting stays cheap.
+FLUSH_THRESHOLD = 32_768
+
+
+def left_smaller_counts(values: np.ndarray) -> np.ndarray:
+    """``out[i] = #{j < i : values[j] < values[i]}`` for distinct ints.
+
+    Offline merge counting: a bottom-up mergesort in which, at each level,
+    every right half-block counts its elements' ranks inside the matching
+    sorted left half-block via one global ``searchsorted`` (block identity
+    is encoded into the sort key, so one call serves all blocks).  All
+    passes are vectorized; cost is O(n log^2 n) in C-speed operations.
+    """
+    n = int(values.size)
+    out = np.zeros(n, dtype=np.int64)
+    if n <= 1:
+        return out
+    dtype = np.int32 if n < 46_000 else np.int64  # keys bounded by n^2
+    rank = np.empty(n, dtype=dtype)
+    rank[np.argsort(values, kind="stable")] = np.arange(n, dtype=dtype)
+
+    # Base case: exhaustive pairwise counts inside blocks of _LSC_BASE.
+    pad = (-n) % _LSC_BASE
+    r2 = np.concatenate([rank, np.full(pad, n, dtype=dtype)])
+    r2 = r2.reshape(-1, _LSC_BASE)
+    base = ((r2[:, :, None] > r2[:, None, :]) & _LSC_TRIL).sum(axis=2)
+    out += base.reshape(-1)[:n]
+
+    idx = np.arange(n, dtype=np.int64)
+    half = _LSC_BASE
+    while half < n:
+        size = 2 * half
+        left_mask = (idx & (size - 1)) < half
+        if not left_mask.any() or left_mask.all():
+            half = size
+            continue
+        shift = size.bit_length() - 1
+        group = idx >> shift
+        num_groups = int(group[-1]) + 1
+        lkeys = np.sort(group[left_mask].astype(dtype) * n + rank[left_mask])
+        starts = np.zeros(num_groups + 1, dtype=np.int64)
+        np.cumsum(np.bincount(group[left_mask], minlength=num_groups),
+                  out=starts[1:])
+        right = ~left_mask
+        gr = group[right]
+        counts = np.searchsorted(lkeys, gr.astype(dtype) * n + rank[right])
+        out[right] += counts - starts[gr]
+        half = size
+    return out
+
+
+class ChunkView(NamedTuple):
+    """Per-chunk byproducts of :meth:`StackDistanceEngine.observe`.
+
+    Everything a caller needs to attach per-line state of its own (the MRU
+    tracker keeps dirty bits) without recomputing the groupings.
+    """
+
+    #: Exact stack distance per access; -1 for first-ever touches.
+    distances: np.ndarray
+    #: Sorted distinct lines of the chunk.
+    uniq: np.ndarray
+    #: Index into ``uniq`` per access.
+    inv: np.ndarray
+    #: Access positions sorted by (line, position): group-major order.
+    order: np.ndarray
+    #: Start offset of each line's group inside ``order``.
+    group_starts: np.ndarray
+    #: Per ``uniq`` entry: True if the line was new to the engine.
+    was_new: np.ndarray
+    #: Insertion offsets of the new lines into the engine's *previous*
+    #: line table (suitable for mirroring with ``np.insert``).
+    insert_at: np.ndarray
+    #: Per ``uniq`` entry: its index in the engine's *updated* line table.
+    positions: np.ndarray
+    #: Indices of the accesses the engine actually processed, or None when
+    #: all were processed.  Consecutive repeats of the same line are
+    #: collapsed away (their exact distance is 0); all index-valued fields
+    #: above live in this compressed space.  ``distances`` is always
+    #: full-size.
+    kept: np.ndarray | None
+
+
+class StackDistanceEngine:
+    """Chunked exact stack-distance computation with persistent state."""
+
+    __slots__ = ("_lines", "_times", "_sorted_times", "_clock")
+
+    def __init__(self) -> None:
+        self._lines = _EMPTY_I64       # sorted distinct lines ever seen
+        self._times = _EMPTY_I64       # last-access time, aligned to _lines
+        self._sorted_times = _EMPTY_I64  # same multiset as _times, sorted
+        self._clock = 0
+
+    @property
+    def unique_lines(self) -> int:
+        """Number of distinct lines ever observed."""
+        return int(self._lines.size)
+
+    def reset(self) -> None:
+        """Forget all lines and restart the clock."""
+        self._lines = _EMPTY_I64
+        self._times = _EMPTY_I64
+        self._sorted_times = _EMPTY_I64
+        self._clock = 0
+
+    def lines_by_recency(self) -> np.ndarray:
+        """Indices into the line table, oldest last access first."""
+        return np.argsort(self._times, kind="stable")
+
+    def prune_to(self, keep: int) -> np.ndarray | None:
+        """Drop all but the ``keep`` most recently used lines.
+
+        A pruned line's next access reads as cold (-1) instead of its true
+        (>= keep) distance, so this is only safe for callers that solely
+        threshold distances at some cap <= ``keep`` — the MRU tracker's
+        case.  Returns the sorted indices of the retained lines within the
+        pre-prune table (for mirroring parallel arrays), or None if
+        nothing was pruned.
+        """
+        total = self._lines.size
+        if total <= keep:
+            return None
+        recency = np.argsort(self._times, kind="stable")
+        kept_idx = np.sort(recency[total - keep:])
+        self._lines = self._lines[kept_idx]
+        self._times = self._times[kept_idx]
+        self._sorted_times = np.sort(self._times)
+        return kept_idx
+
+    def line_table(self) -> np.ndarray:
+        """The sorted distinct-line table (do not mutate)."""
+        return self._lines
+
+    def observe(
+        self, chunk: np.ndarray, distance_floor: int | None = None
+    ) -> ChunkView:
+        """Stream one chunk of line addresses; returns exact distances.
+
+        With ``distance_floor`` set, the caller promises to use distances
+        only as a threshold test against some cap <= ``distance_floor``
+        (the MRU tracker's case): returned distances are then merely
+        guaranteed to land on the correct side of the floor, which lets
+        whole chunks skip the offline merge-counting when their reuses
+        cannot possibly reach it.  Cold accesses report -1 exactly in
+        both modes, and the engine state update is identical.
+        """
+        n = int(chunk.size)
+        if n == 0:
+            empty = _EMPTY_I64
+            return ChunkView(empty, empty, empty, empty, empty,
+                             np.empty(0, dtype=bool), empty, empty, None)
+        chunk = np.ascontiguousarray(chunk, dtype=np.int64)
+        # Collapse consecutive repeats: an immediate reuse has distance 0
+        # exactly, and dropping it changes no other access's distinct-line
+        # window, so the heavy machinery only sees run starts.
+        kept = None
+        full_n = n
+        if n > 1:
+            keep_mask = np.empty(n, dtype=bool)
+            keep_mask[0] = True
+            np.not_equal(chunk[1:], chunk[:-1], out=keep_mask[1:])
+            if not keep_mask.all():
+                kept = np.flatnonzero(keep_mask)
+                chunk = chunk[kept]
+                n = int(kept.size)
+        # One stable argsort yields both the distinct-line table and the
+        # group-major access order (positions ascending within a line).
+        order = np.argsort(chunk, kind="stable")
+        sorted_chunk = chunk[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        same = sorted_chunk[1:] == sorted_chunk[:-1]
+        new_group[1:] = ~same
+        group_starts = np.flatnonzero(new_group)
+        uniq = sorted_chunk[group_starts]
+        inv = np.empty(n, dtype=np.int64)
+        inv[order] = np.cumsum(new_group) - 1
+        prev = np.full(n, -1, dtype=np.int64)
+        prev[order[1:][same]] = order[:-1][same]
+        nxt = np.full(n, n, dtype=np.int64)
+        nxt[order[:-1][same]] = order[1:][same]
+        first = prev < 0
+
+        dist = np.full(n, -1, dtype=np.int64)
+
+        # Intra-chunk reuses via the crossing identity.  In floor mode,
+        # cheap bounds (distance < window size, distance >= crossing count
+        # minus window start) classify almost every reuse without the
+        # offline merge counting.
+        if same.any():
+            if distance_floor is not None and (
+                n <= distance_floor or group_starts.size <= distance_floor
+            ):
+                # An intra-chunk distance is bounded by the number of
+                # distinct chunk lines, so no reuse can reach the floor.
+                dist[nxt[nxt < n]] = 0
+            else:
+                starts = np.flatnonzero(nxt < n)
+                ends = nxt[starts]
+                if distance_floor is not None:
+                    upper = ends - starts - 1  # window-size bound
+                    deep = upper >= distance_floor
+                    if not deep.any():
+                        dist[ends] = upper
+                    else:
+                        crossing = ends - np.searchsorted(
+                            np.sort(ends), ends
+                        )
+                        lower = crossing - starts - 1
+                        if (deep & (lower < distance_floor)).any():
+                            lsc = left_smaller_counts(ends)
+                            dist[ends] = lower + lsc
+                        else:
+                            dist[ends] = np.where(deep, lower, upper)
+                else:
+                    lsc = left_smaller_counts(ends)
+                    crossing = ends - np.searchsorted(np.sort(ends), ends)
+                    dist[ends] = crossing - starts - 1 + lsc
+
+        # First-in-chunk accesses: look up pre-chunk last times.
+        glines = self._lines
+        pos = np.searchsorted(glines, uniq)
+        found = pos < glines.size
+        found[found] = glines[pos[found]] == uniq[found]
+        tau_u = np.full(uniq.size, -1, dtype=np.int64)
+        tau_u[found] = self._times[pos[found]]
+        if found.any():
+            fo = np.flatnonzero(first)
+            taus = tau_u[inv[fo]]
+            seen = taus >= 0
+            sfo = fo[seen]
+            staus = taus[seen]
+            active = glines.size
+            g_counts = active - np.searchsorted(
+                self._sorted_times, staus, side="right"
+            )
+            cum_first = np.cumsum(first) - first
+            b_counts = cum_first[sfo]
+            if distance_floor is not None:
+                # The true distance lies in [G, G + B]; only queries whose
+                # band straddles the floor need the exact overlap term.
+                ambiguous = (g_counts < distance_floor) & (
+                    g_counts + b_counts >= distance_floor
+                )
+                if ambiguous.any():
+                    overlap = left_smaller_counts(-staus)
+                    dist[sfo] = g_counts + b_counts - overlap
+                else:
+                    dist[sfo] = g_counts
+            else:
+                overlap = left_smaller_counts(-staus)
+                dist[sfo] = g_counts + b_counts - overlap
+
+        # State update: per distinct line, retire the old timestamp and
+        # record the line's last chunk position as the new one.
+        last_in_group = np.concatenate([group_starts[1:] - 1, [n - 1]])
+        new_times = self._clock + order[last_in_group]
+        old = tau_u[found]
+        if old.size:
+            drop = np.searchsorted(self._sorted_times, old)
+            surviving = np.delete(self._sorted_times, drop)
+        else:
+            surviving = self._sorted_times
+        self._sorted_times = np.concatenate([surviving, np.sort(new_times)])
+
+        was_new = ~found
+        if was_new.any():
+            insert_at = pos[was_new]
+            self._times[pos[found]] = new_times[found]
+            self._lines = np.insert(glines, insert_at, uniq[was_new])
+            self._times = np.insert(self._times, insert_at,
+                                    new_times[was_new])
+            positions = np.searchsorted(self._lines, uniq)
+        else:
+            insert_at = _EMPTY_I64
+            self._times[pos] = new_times
+            positions = pos
+        self._clock += n
+        if kept is not None:
+            full = np.zeros(full_n, dtype=np.int64)  # repeats: distance 0
+            full[kept] = dist
+            dist = full
+        return ChunkView(dist, uniq, inv, order, group_starts,
+                         was_new, insert_at, positions, kept)
+
+
+class OlkenStackProfiler:
+    """Streaming exact stack distances: dict + Fenwick, O(log n)/access.
+
+    The reference formulation of the same algorithm the chunked engine
+    vectorizes: slot ``t`` of the Fenwick tree holds 1 while the access at
+    time ``t`` is the most recent access to its line, so the distance of
+    an access is the count of set slots newer than the line's last one.
+    The tree is rebuilt with compacted timestamps whenever the clock
+    outgrows its capacity.
+    """
+
+    __slots__ = ("_last", "_tree", "_clock")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._last: dict[int, int] = {}
+        self._tree = FenwickTree(max(capacity, 16))
+        self._clock = 0
+
+    @property
+    def unique_lines(self) -> int:
+        """Number of distinct lines ever observed."""
+        return len(self._last)
+
+    def _compact(self) -> None:
+        """Re-number active timestamps 0..n-1 and double the tree."""
+        items = sorted(self._last.items(), key=lambda kv: kv[1])
+        tree = FenwickTree(2 * max(len(items) + 1, self._tree.size))
+        self._last = {}
+        for t, (line, _) in enumerate(items):
+            self._last[line] = t
+            tree.add(t, 1)
+        self._clock = len(items)
+        self._tree = tree
+
+    def observe_one(self, line: int) -> int:
+        """Record one access; returns its exact distance (-1 if cold)."""
+        if self._clock >= self._tree.size:
+            self._compact()
+        last = self._last
+        tree = self._tree
+        t = self._clock
+        tau = last.get(line, -1)
+        if tau < 0:
+            distance = -1
+        else:
+            distance = len(last) - tree.prefix_sum(tau)
+            tree.add(tau, -1)
+        tree.add(t, 1)
+        last[line] = t
+        self._clock = t + 1
+        return distance
+
+    def observe(self, lines: np.ndarray) -> np.ndarray:
+        """Record a batch of accesses; returns exact distances."""
+        out = np.empty(lines.size, dtype=np.int64)
+        observe_one = self.observe_one
+        for i, line in enumerate(lines.tolist()):
+            out[i] = observe_one(line)
+        return out

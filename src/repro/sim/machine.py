@@ -52,16 +52,27 @@ class FullRunResult:
 
 
 class Machine:
-    """A simulated shared-memory machine (Table I parameters)."""
+    """A simulated shared-memory machine (Table I parameters).
 
-    def __init__(self, config: MachineConfig) -> None:
+    ``hierarchy_factory`` lets callers swap the memory-hierarchy
+    implementation (the perf benchmarks run the reference/seed hierarchy
+    side by side with the fast one); it must accept a
+    :class:`~repro.config.MachineConfig`.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hierarchy_factory: type[MemoryHierarchy] = MemoryHierarchy,
+    ) -> None:
         self.config = config
-        self.hierarchy = MemoryHierarchy(config)
+        self._hierarchy_factory = hierarchy_factory
+        self.hierarchy = hierarchy_factory(config)
         self.cores = [IntervalCore(config.core) for _ in range(config.num_cores)]
 
     def reset(self) -> None:
         """Return to a cold, just-booted state."""
-        self.hierarchy = MemoryHierarchy(self.config)
+        self.hierarchy = self._hierarchy_factory(self.config)
         for core in self.cores:
             core.reset()
 
@@ -167,7 +178,7 @@ class Machine:
         """
         warmup.prepare(self.hierarchy, region_index)
         trace = workload.region_trace(region_index)
-        if getattr(warmup, "warm_code", False):
+        if warmup.warm_code:
             for thread in trace.threads:
                 for exec_ in thread.blocks:
                     self.hierarchy.access_code(

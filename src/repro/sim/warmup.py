@@ -26,6 +26,9 @@ class WarmupStrategy(Protocol):
     """Prepares hierarchy state before detailed simulation of a region."""
 
     name: str
+    #: Whether the machine should also touch the region's static code
+    #: footprint (I-cache warmup) before detailed simulation starts.
+    warm_code: bool
 
     def prepare(self, hierarchy: MemoryHierarchy, region_index: int) -> None:
         """Install warm state for the region starting at ``region_index``."""
@@ -37,6 +40,8 @@ class ColdWarmup:
     """No warmup: simulate the barrierpoint from empty caches."""
 
     name: str = "cold"
+    #: Cold runs pay compulsory instruction fetches too.
+    warm_code: bool = False
 
     def prepare(self, hierarchy: MemoryHierarchy, region_index: int) -> None:
         """Flush everything; the region pays all compulsory misses."""
@@ -99,19 +104,36 @@ class MRUWarmup:
         # of distinct lines were touched since its last write, so entries
         # older than ``llc_lines / cores`` per core replay as clean reads —
         # their writeback already happened before the checkpoint.
-        streams = [list(core_data) for core_data in self.data.per_core]
         sharers = max(1, hierarchy.machine.cores_per_socket)
         dirty_window = max(1, hierarchy.machine.l3.num_lines // sharers)
-        cursor = [0] * len(streams)
-        remaining = sum(len(s) for s in streams)
-        total = [len(s) for s in streams]
-        while remaining:
-            for core, stream in enumerate(streams):
-                # Replay proportionally so all cores finish together.
-                if cursor[core] < total[core]:
-                    line, was_write = stream[cursor[core]]
-                    if cursor[core] < total[core] - dirty_window:
-                        was_write = False
-                    hierarchy.replay(core, line, was_write)
-                    cursor[core] += 1
-                    remaining -= 1
+        streams: list[tuple[list[int], list[bool]]] = []
+        for core_data in self.data.per_core:
+            clean_until = len(core_data) - dirty_window
+            streams.append((
+                [line for line, _ in core_data],
+                [
+                    (was_write if i >= clean_until else False)
+                    for i, (_, was_write) in enumerate(core_data)
+                ],
+            ))
+        # Consecutive same-core entries of the interleaving are replayed
+        # through the batched path in one call.
+        replay_block = hierarchy.replay_block
+        group_core = -1
+        group_lines: list[int] = []
+        group_writes: list[bool] = []
+        rounds = max((len(s[0]) for s in streams), default=0)
+        for cursor in range(rounds):
+            for core, (lines, writes) in enumerate(streams):
+                if cursor >= len(lines):
+                    continue
+                if core != group_core:
+                    if group_lines:
+                        replay_block(group_core, group_lines, group_writes)
+                    group_core = core
+                    group_lines = []
+                    group_writes = []
+                group_lines.append(lines[cursor])
+                group_writes.append(writes[cursor])
+        if group_lines:
+            replay_block(group_core, group_lines, group_writes)

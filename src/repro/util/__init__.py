@@ -8,12 +8,16 @@ from repro.util.stats import (
     weighted_mean,
 )
 from repro.util.tables import format_table
+from repro.util.timing import BenchmarkReport, PhaseTiming, time_call
 
 __all__ = [
+    "BenchmarkReport",
     "FenwickTree",
+    "PhaseTiming",
     "abs_pct_error",
     "format_table",
     "geometric_mean",
     "harmonic_mean",
+    "time_call",
     "weighted_mean",
 ]

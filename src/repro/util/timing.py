@@ -1,0 +1,109 @@
+"""Micro-benchmark timing helpers for the perf harness.
+
+``benchmarks/test_perf.py`` uses these to time the fast engines against
+their seed references and to persist a machine-readable perf trajectory in
+``benchmarks/results/BENCH_perf.json`` that future PRs must not regress.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """Wall-clock seconds (best of ``repeat``) plus the last return value."""
+
+    seconds: float
+    value: Any
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> TimedResult:
+    """Time ``fn()`` with ``perf_counter``; keeps the best of ``repeat``."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return TimedResult(seconds=best, value=value)
+
+
+@dataclass
+class PhaseTiming:
+    """One (workload, phase) fast-vs-reference measurement."""
+
+    workload: str
+    phase: str
+    fast_seconds: float
+    reference_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Reference time over fast time; inf if fast rounds to zero."""
+        if self.fast_seconds <= 0.0:
+            return float("inf")
+        return self.reference_seconds / self.fast_seconds
+
+
+@dataclass
+class BenchmarkReport:
+    """Accumulates phase timings and serializes the perf trajectory."""
+
+    scale: float
+    records: list[PhaseTiming] = field(default_factory=list)
+
+    def add(
+        self,
+        workload: str,
+        phase: str,
+        fast_seconds: float,
+        reference_seconds: float,
+    ) -> PhaseTiming:
+        """Record one measurement and return it."""
+        record = PhaseTiming(workload, phase, fast_seconds, reference_seconds)
+        self.records.append(record)
+        return record
+
+    def combined_speedup(self, phases: tuple[str, ...]) -> float:
+        """Aggregate speedup over the given phases, all workloads pooled."""
+        fast = sum(r.fast_seconds for r in self.records if r.phase in phases)
+        ref = sum(
+            r.reference_seconds for r in self.records if r.phase in phases
+        )
+        if fast <= 0.0:
+            return float("inf")
+        return ref / fast
+
+    def to_dict(self) -> dict:
+        """The JSON-ready report structure."""
+        phases = tuple(sorted({r.phase for r in self.records}))
+        return {
+            "scale": self.scale,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "records": [
+                {**asdict(r), "speedup": round(r.speedup, 3)}
+                for r in self.records
+            ],
+            "combined": {
+                "profile+full_run": round(
+                    self.combined_speedup(("profile", "full_run")), 3
+                ),
+                "all_phases": round(self.combined_speedup(phases), 3),
+            },
+        }
+
+    def write(self, path: Path) -> dict:
+        """Serialize to ``path``; returns the written structure."""
+        payload = self.to_dict()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return payload

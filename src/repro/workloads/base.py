@@ -17,6 +17,7 @@ region.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -76,6 +77,12 @@ class Workload(ABC):
         self._blocks: dict[str, BasicBlock] = {}
         self._next_code_line = _CODE_SEGMENT_BASE
         self._schedule: list[PhaseInstance] = []
+        self._trace_cache: dict[int, RegionTrace] = {}
+        # Memoization holds every generated region trace for the workload's
+        # lifetime (peak memory O(total trace) instead of O(one region));
+        # REPRO_TRACE_CACHE=0 restores regenerate-per-pass behavior for
+        # memory-constrained full-scale runs.
+        self._cache_traces = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
         self._build()
         if not self._schedule:
             raise WorkloadError(f"workload {self.name!r} produced an empty schedule")
@@ -114,8 +121,19 @@ class Workload(ABC):
         return self._schedule[region_index]
 
     def region_trace(self, region_index: int) -> RegionTrace:
-        """Build the full multi-threaded trace of one inter-barrier region."""
+        """Build the full multi-threaded trace of one inter-barrier region.
+
+        Traces are deterministic functions of (workload, region), so they
+        are built once and memoized: every consumer after the first —
+        profiling, the full reference run, warmup capture, barrierpoint
+        replays — reads the cached immutable trace instead of re-running
+        the generators.  This is a large fraction of end-to-end time on
+        workloads with many small regions.
+        """
         self._check_region(region_index)
+        cached = self._trace_cache.get(region_index)
+        if cached is not None:
+            return cached
         inst = self._schedule[region_index]
         threads = tuple(
             ThreadTrace(
@@ -124,7 +142,21 @@ class Workload(ABC):
             )
             for tid in range(self.num_threads)
         )
-        return RegionTrace(region_index=region_index, phase=inst.phase, threads=threads)
+        trace = RegionTrace(
+            region_index=region_index, phase=inst.phase, threads=threads
+        )
+        if self._cache_traces:
+            self._trace_cache[region_index] = trace
+        return trace
+
+    def disable_trace_cache(self) -> None:
+        """Regenerate traces on every request (the seed behavior).
+
+        Used by the perf benchmarks so the reference measurements reflect
+        the seed system, which re-ran the trace generators on every pass.
+        """
+        self._cache_traces = False
+        self._trace_cache.clear()
 
     def iter_regions(self):
         """Yield every region trace in program order."""

@@ -1,0 +1,69 @@
+"""Tests for the micro-benchmark timing helpers."""
+
+import json
+
+import pytest
+
+from repro.util.timing import BenchmarkReport, PhaseTiming, time_call
+
+
+class TestTimeCall:
+    def test_returns_value_and_positive_time(self):
+        result = time_call(lambda: sum(range(1000)))
+        assert result.value == sum(range(1000))
+        assert result.seconds > 0.0
+
+    def test_best_of_repeats(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return len(calls)
+
+        result = time_call(fn, repeat=3)
+        assert len(calls) == 3
+        assert result.value == 3  # last call's value
+
+
+class TestPhaseTiming:
+    def test_speedup(self):
+        record = PhaseTiming("w", "p", fast_seconds=0.5, reference_seconds=2.0)
+        assert record.speedup == pytest.approx(4.0)
+
+    def test_zero_fast_time_is_inf(self):
+        record = PhaseTiming("w", "p", fast_seconds=0.0, reference_seconds=1.0)
+        assert record.speedup == float("inf")
+
+
+class TestBenchmarkReport:
+    def _report(self):
+        report = BenchmarkReport(scale=0.5)
+        report.add("a", "profile", 1.0, 4.0)
+        report.add("a", "full_run", 2.0, 4.0)
+        report.add("b", "profile", 1.0, 2.0)
+        report.add("b", "barrierpoint_replay", 1.0, 1.0)
+        return report
+
+    def test_combined_speedup_pools_seconds(self):
+        report = self._report()
+        # (4+4+2) / (1+2+1) over profile+full_run
+        assert report.combined_speedup(("profile", "full_run")) == \
+            pytest.approx(2.5)
+
+    def test_combined_speedup_subset(self):
+        report = self._report()
+        assert report.combined_speedup(("barrierpoint_replay",)) == \
+            pytest.approx(1.0)
+
+    def test_write_report(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "BENCH_perf.json"
+        payload = report.write(path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["scale"] == 0.5
+        assert len(on_disk["records"]) == 4
+        assert on_disk["combined"]["profile+full_run"] == pytest.approx(2.5)
+        for record in on_disk["records"]:
+            assert {"workload", "phase", "fast_seconds",
+                    "reference_seconds", "speedup"} <= set(record)
