@@ -2,12 +2,19 @@
 
 All figure/table benchmarks share one memoized :class:`ExperimentRunner`,
 so the expensive profiling and full-simulation passes are paid once per
-(benchmark, core count), exactly as in the paper's evaluation flow.
+(benchmark, core count), exactly as in the paper's evaluation flow.  The
+runner is store-backed: baseline profiles and full runs persist under the
+artifact store (``.repro-store`` by default), so repeated benchmark
+sessions — and the ``repro`` CLI — share them instead of recomputing.
 
 Environment knobs:
     REPRO_BENCH_SCALE       workload scale (default 0.5; 1.0 = the numbers
                             recorded in EXPERIMENTS.md)
     REPRO_BENCH_WORKLOADS   comma-separated benchmark subset
+    REPRO_WORKERS           process-parallel prefetch of the expensive
+                            passes (default 0 = in-process)
+    REPRO_STORE_DIR         artifact store root (default .repro-store)
+    REPRO_STORE             set 0 to disable artifact reuse
 """
 
 from __future__ import annotations

@@ -7,13 +7,15 @@ of work.  This example selects barrierpoints at 8 threads, applies them to
 a 32-core machine, and predicts the 8->32 scaling speedup from samples
 alone (Fig. 8's use case).
 
-Run:  python examples/cross_architecture.py
+Run:  python examples/cross_architecture.py   (REPRO_SCALE overrides the scale)
 """
+
+import os
 
 from repro import BarrierPointPipeline, get_workload, scaled, table1_8core, table1_32core
 from repro.core.crossarch import apply_selection_across
 
-SCALE = 0.5
+SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 BENCHMARK = "npb-cg"  # the paper's super-linear-scaling example
 
 

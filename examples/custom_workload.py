@@ -6,13 +6,16 @@ through the pipeline.  This example models a small iterative
 graph-processing app (gather -> apply -> scatter per superstep, with a
 shrinking frontier) using the declarative :class:`SyntheticSpec` builder.
 
-Run:  python examples/custom_workload.py
+Run:  python examples/custom_workload.py   (REPRO_SCALE overrides the scale)
 """
+
+import os
 
 from repro import BarrierPointPipeline, scaled, table1_8core
 from repro.core.speedup import speedup_report
 from repro.workloads import PhaseSpec, SyntheticSpec, SyntheticWorkload
 
+SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 SUPERSTEPS = 12
 
 
@@ -66,7 +69,7 @@ def build_spec() -> SyntheticSpec:
 
 
 def main() -> None:
-    workload = SyntheticWorkload(build_spec(), num_threads=8, scale=0.5)
+    workload = SyntheticWorkload(build_spec(), num_threads=8, scale=SCALE)
     print(f"{workload.name}: {workload.barrier_count} barriers, "
           f"{workload.num_static_blocks} static blocks")
 

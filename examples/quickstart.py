@@ -5,13 +5,17 @@ profile -> cluster -> select barrierpoints -> capture + replay warmup ->
 simulate only the barrierpoints -> reconstruct total execution time, and
 compares the estimate against the full detailed simulation.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py   (REPRO_SCALE overrides the scale)
 """
+
+import os
 
 from repro import BarrierPointPipeline, get_workload, scaled, table1_8core
 from repro.core.speedup import speedup_report
 
-SCALE = 0.5  # workload scale; 1.0 reproduces the reported numbers
+#: Workload scale; 1.0 reproduces the reported numbers.  The smoke test
+#: (tests/test_examples.py) runs every example tiny via REPRO_SCALE.
+SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 
 
 def main() -> None:

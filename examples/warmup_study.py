@@ -4,12 +4,14 @@ Reproduces the section IV / VI-B comparison on one benchmark: how much of
 the sampling error is selection (perfect warmup), and how much the
 checkpoint-free MRU replay technique recovers relative to cold caches.
 
-Run:  python examples/warmup_study.py
+Run:  python examples/warmup_study.py   (REPRO_SCALE overrides the scale)
 """
+
+import os
 
 from repro import BarrierPointPipeline, get_workload, scaled, table1_8core
 
-SCALE = 0.5
+SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 BENCHMARK = "npb-cg"
 
 

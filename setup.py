@@ -14,4 +14,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23", "scipy>=1.9"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

@@ -1,0 +1,12 @@
+"""``python -m repro`` — the ``repro`` CLI without installation.
+
+Equivalent to the ``repro`` console script; see :mod:`repro.cli` and
+``docs/cli.md``.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

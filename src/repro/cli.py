@@ -1,0 +1,201 @@
+"""The unified ``repro`` command-line interface.
+
+One console entry point drives the whole reproduction (see ``docs/cli.md``
+for the user guide):
+
+* ``repro run`` — regenerate the evaluation battery (all figures/tables),
+  parallel and incremental via the artifact store;
+* ``repro figures`` — same battery, but write each figure to a file;
+* ``repro bench`` — run the pytest benchmark harness (perf + figures)
+  with the environment knobs set from flags;
+* ``repro clean`` — delete the artifact store.
+
+Installed as ``repro`` by ``pip install -e .``; equivalently available
+without installation as ``PYTHONPATH=src python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+from repro.experiments import battery
+from repro.store import ArtifactStore
+
+def bench_targets(bench_dir: pathlib.Path) -> tuple[str, ...]:
+    """``repro bench`` target shorthands, derived from the benchmark files.
+
+    Args:
+        bench_dir: The ``benchmarks/`` directory of a checkout.
+
+    Returns:
+        One shorthand per ``test_<name>.py`` file (``perf``, ``fig1``, ...).
+    """
+    return tuple(
+        sorted(p.stem.removeprefix("test_") for p in bench_dir.glob("test_*.py"))
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BarrierPoint reproduction: experiments, figures, "
+                    "benchmarks, and the artifact store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="regenerate the evaluation battery (stdout)"
+    )
+    battery.add_runner_options(run_p)
+
+    figures_p = sub.add_parser(
+        "figures", help="regenerate figures/tables into files"
+    )
+    battery.add_runner_options(figures_p)
+    figures_p.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("benchmarks/results"),
+        help="output directory (default benchmarks/results)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="run the pytest benchmark harness"
+    )
+    bench_p.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="benchmark subset — one name per benchmarks/test_<name>.py "
+             "file, e.g. perf, fig1, table3 (default: everything)",
+    )
+    bench_p.add_argument(
+        "--scale", type=float, default=None,
+        help="sets REPRO_BENCH_SCALE (default 0.5)",
+    )
+    bench_p.add_argument(
+        "--workloads", type=str, default=None,
+        help="sets REPRO_BENCH_WORKLOADS (comma-separated subset)",
+    )
+    bench_p.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="sets REPRO_BENCH_MIN_SPEEDUP (perf benchmark floor)",
+    )
+    bench_p.add_argument(
+        "--repeat", type=int, default=None,
+        help="sets REPRO_BENCH_REPEAT (best-of-N timing)",
+    )
+
+    clean_p = sub.add_parser(
+        "clean", help="delete the artifact store"
+    )
+    clean_p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be freed without deleting",
+    )
+    return parser
+
+
+def cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``repro run``: print configs and every regenerated figure."""
+    runner = battery.runner_from_args(args)
+    selected = battery.select_experiments(parser, args.only)
+    print(battery.show_configs())
+    print()
+
+    def _report(name: str, output: str, seconds: float, cached: bool) -> None:
+        source = "store" if cached else "computed"
+        print(output)
+        print(f"[{name} regenerated in {seconds:.1f}s ({source})]")
+        print()
+
+    battery.run_experiments(runner, selected, on_result=_report)
+    return 0
+
+
+def cmd_figures(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro figures``: write each regenerated figure to ``--out``."""
+    runner = battery.runner_from_args(args)
+    selected = battery.select_experiments(parser, args.only)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    def _report(name: str, output: str, seconds: float, cached: bool) -> None:
+        path = args.out / f"{name}.txt"
+        path.write_text(output + "\n")
+        source = "store" if cached else "computed"
+        print(f"{path}  [{seconds:.1f}s, {source}]")
+
+    battery.run_experiments(runner, selected, on_result=_report)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``repro bench``: run the benchmark harness through pytest."""
+    bench_dir = pathlib.Path("benchmarks")
+    if not (bench_dir / "conftest.py").is_file():
+        parser.error(
+            "benchmarks/ not found — run from a repository checkout"
+        )
+    env = {
+        "REPRO_BENCH_SCALE": args.scale,
+        "REPRO_BENCH_WORKLOADS": args.workloads,
+        "REPRO_BENCH_MIN_SPEEDUP": args.min_speedup,
+        "REPRO_BENCH_REPEAT": args.repeat,
+    }
+    for name, value in env.items():
+        if value is not None:
+            os.environ[name] = str(value)
+    known = bench_targets(bench_dir)
+    unknown = [t for t in args.targets if t not in known]
+    if unknown:
+        parser.error(f"unknown bench targets {unknown}; known: {list(known)}")
+    if args.targets:
+        paths = [
+            str(bench_dir / f"test_{target}.py") for target in args.targets
+        ]
+    else:
+        paths = [str(bench_dir)]
+    import pytest
+
+    return pytest.main([*paths, "-x", "-q"])
+
+
+def cmd_clean(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``repro clean``: delete (or size up) the artifact store."""
+    store = ArtifactStore()
+    if args.dry_run:
+        print(f"{store.root}: {store.size_bytes()} bytes")
+        return 0
+    freed = store.clear()
+    print(f"removed {store.root} ({freed} bytes)")
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "figures": cmd_figures,
+    "bench": cmd_bench,
+    "clean": cmd_clean,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (the ``repro`` console script).
+
+    Args:
+        argv: Argument list (default ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args, parser)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,6 +132,12 @@ class MachineConfig:
             raise ConfigError(f"core {core_id} out of range [0, {self.num_cores})")
         return core_id // self.cores_per_socket
 
+    def fingerprint(self) -> str:
+        """Stable hex digest of every parameter (artifact-store keying)."""
+        from repro.store.fingerprint import config_fingerprint
+
+        return config_fingerprint(self)
+
 
 def table1_8core() -> MachineConfig:
     """The paper's single-socket, 8-core machine (Table I)."""
@@ -208,6 +214,12 @@ class SimPointConfig:
             raise ConfigError("coverage_pct must be in (0, 1]")
         if not 0.0 < self.bic_threshold <= 1.0:
             raise ConfigError("bic_threshold must be in (0, 1]")
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of every parameter (artifact-store keying)."""
+        from repro.store.fingerprint import config_fingerprint
+
+        return config_fingerprint(self)
 
 
 def simpoint_defaults() -> SimPointConfig:

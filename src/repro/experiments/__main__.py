@@ -1,128 +1,22 @@
 """Run the complete evaluation battery: ``python -m repro.experiments``.
 
-Options:
+This is a thin alias for ``repro run`` (see :mod:`repro.experiments.battery`
+and ``docs/cli.md``).  Options:
+
     --scale S      workload scale factor (default 1.0)
-    --quick        small-scale smoke run (scale 0.3, npb-ft + npb-cg only)
-    --only NAMES   comma-separated experiment names (fig1,fig3,...,ablations)
+    --quick        small-scale smoke run (scale 0.3, npb-ft/cg/is)
+    --only NAMES   comma-separated experiment names (fig1,...,ablations)
+    --workers N    parallel worker processes for the expensive passes
+    --no-store     bypass the artifact store
 
 The output of a default run is what EXPERIMENTS.md records.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
 
-from repro.config import simpoint_defaults, table1_8core, table1_32core
-from repro.experiments import paper_data
-from repro.experiments.common import ExperimentRunner, experiment_machine
-from repro.experiments import (
-    ablations,
-    fig1_barrier_counts,
-    fig3_ipc_trace,
-    fig4_perfect_warmup,
-    fig5_maxk_methods,
-    fig6_cross_validation,
-    fig7_warmup_error,
-    fig8_relative_scaling,
-    fig9_speedups,
-    table3_barrierpoints,
-)
-
-EXPERIMENTS = {
-    "fig1": fig1_barrier_counts,
-    "fig3": fig3_ipc_trace,
-    "fig4": fig4_perfect_warmup,
-    "fig5": fig5_maxk_methods,
-    "fig6": fig6_cross_validation,
-    "fig7": fig7_warmup_error,
-    "fig8": fig8_relative_scaling,
-    "fig9": fig9_speedups,
-    "table3": table3_barrierpoints,
-    "ablations": ablations,
-}
-
-
-def show_configs() -> str:
-    """Print Table I and Table II as configured."""
-    lines = ["Table I — simulated system characteristics (paper scale)"]
-    for cfg in (table1_8core(), table1_32core()):
-        lines.append(
-            f"  {cfg.name}: {cfg.num_sockets} socket(s) x "
-            f"{cfg.cores_per_socket} cores @ {cfg.core.frequency_ghz} GHz, "
-            f"{cfg.core.dispatch_width}-wide, ROB {cfg.core.rob_entries}, "
-            f"branch penalty {cfg.core.branch_miss_penalty}"
-        )
-        lines.append(
-            f"    L1-I {cfg.l1i.size_bytes // 1024} KB/{cfg.l1i.associativity}w"
-            f"/{cfg.l1i.latency_cycles}c, "
-            f"L1-D {cfg.l1d.size_bytes // 1024} KB/{cfg.l1d.associativity}w"
-            f"/{cfg.l1d.latency_cycles}c, "
-            f"L2 {cfg.l2.size_bytes // 1024} KB/{cfg.l2.associativity}w"
-            f"/{cfg.l2.latency_cycles}c, "
-            f"L3 {cfg.l3.size_bytes // (1024 * 1024)} MB/"
-            f"{cfg.l3.associativity}w/{cfg.l3.latency_cycles}c per socket"
-        )
-        lines.append(
-            f"    DRAM {cfg.mem.latency_ns} ns, "
-            f"{cfg.mem.bandwidth_gbps_per_socket} GB/s per socket"
-        )
-    lines.append("  evaluation machines (cache-scaled):")
-    for nt in (8, 32):
-        cfg = experiment_machine(nt)
-        lines.append(
-            f"    {cfg.name}: L1-D {cfg.l1d.num_lines} lines, "
-            f"L2 {cfg.l2.num_lines} lines, L3 {cfg.l3.num_lines} "
-            f"lines/socket"
-        )
-    sp = simpoint_defaults()
-    lines.append("Table II — SimPoint parameters")
-    lines.append(
-        f"  -dim {sp.projected_dims}  -maxK {sp.max_k}  "
-        f"-fixedLength {'on' if sp.fixed_length else 'off'}  "
-        f"-coveragePct {sp.coverage_pct:.0%}"
-    )
-    for key, value in paper_data.SIMPOINT_PARAMETERS.items():
-        lines.append(f"  (paper {key} = {value})")
-    return "\n".join(lines)
-
-
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument("--quick", action="store_true")
-    parser.add_argument("--only", type=str, default="")
-    args = parser.parse_args(argv)
-
-    if args.quick:
-        runner = ExperimentRunner(
-            scale=0.3, benchmarks=("npb-ft", "npb-cg", "npb-is")
-        )
-    else:
-        runner = ExperimentRunner(scale=args.scale)
-
-    selected = (
-        [name.strip() for name in args.only.split(",") if name.strip()]
-        if args.only
-        else list(EXPERIMENTS)
-    )
-    unknown = [name for name in selected if name not in EXPERIMENTS]
-    if unknown:
-        parser.error(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
-
-    print(show_configs())
-    print()
-    for name in selected:
-        start = time.time()
-        output = EXPERIMENTS[name].run(runner)
-        elapsed = time.time() - start
-        print(output)
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
-        print()
-    return 0
-
+from repro.experiments.battery import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(prog="python -m repro.experiments"))

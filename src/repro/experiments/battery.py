@@ -1,0 +1,297 @@
+"""The evaluation battery: every figure/table, store-cached and parallel.
+
+This module is the single driver behind both ``repro run`` and
+``python -m repro.experiments``.  It knows three things:
+
+* the registry of experiments (:data:`EXPERIMENTS`),
+* how to build an :class:`ExperimentRunner` from CLI options, and
+* how to regenerate a set of figures *incrementally*: each rendered
+  figure is cached in the artifact store under a key covering the runner
+  configuration, the package code fingerprint, and the source of the
+  figure's own module — so a figure-only edit recomputes exactly that
+  figure, and an unchanged second invocation is pure store hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.config import simpoint_defaults, table1_8core, table1_32core
+from repro.experiments import paper_data
+from repro.experiments import common as _common
+from repro.experiments.common import ExperimentRunner, experiment_machine
+from repro.experiments import (
+    ablations,
+    fig1_barrier_counts,
+    fig3_ipc_trace,
+    fig4_perfect_warmup,
+    fig5_maxk_methods,
+    fig6_cross_validation,
+    fig7_warmup_error,
+    fig8_relative_scaling,
+    fig9_speedups,
+    table3_barrierpoints,
+)
+from repro.store import ArtifactStore, code_fingerprint, module_fingerprint
+
+EXPERIMENTS = {
+    "fig1": fig1_barrier_counts,
+    "fig3": fig3_ipc_trace,
+    "fig4": fig4_perfect_warmup,
+    "fig5": fig5_maxk_methods,
+    "fig6": fig6_cross_validation,
+    "fig7": fig7_warmup_error,
+    "fig8": fig8_relative_scaling,
+    "fig9": fig9_speedups,
+    "table3": table3_barrierpoints,
+    "ablations": ablations,
+}
+
+#: Expensive pass kinds each experiment consumes (via the runner's
+#: ``profiles``/``full``/``selection``/``evaluate_*`` methods — selection
+#: and the warmup/perfect evaluations derive from profiles and full runs).
+#: Drives the parallel prefetch so ``--only fig1`` never computes passes
+#: no selected figure needs.
+EXPERIMENT_NEEDS: dict[str, tuple[str, ...]] = {
+    "fig1": (),
+    "fig3": ("profiles", "full"),
+    "fig4": ("profiles", "full"),
+    "fig5": ("profiles", "full"),
+    "fig6": ("profiles", "full"),
+    "fig7": ("profiles", "full"),
+    "fig8": ("profiles", "full"),
+    "fig9": ("profiles", "full"),
+    "table3": ("profiles",),
+    "ablations": ("profiles", "full"),
+}
+
+#: The benchmarks/scale the ``--quick`` smoke configuration runs.
+QUICK_SCALE = 0.3
+QUICK_BENCHMARKS = ("npb-ft", "npb-cg", "npb-is")
+
+
+def add_runner_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared runner options to an argparse parser.
+
+    Args:
+        parser: The (sub)parser for a command that builds a runner.
+    """
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (1.0 = the recorded numbers)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"small-scale smoke run (scale {QUICK_SCALE}, "
+             f"{', '.join(QUICK_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--only", type=str, default="",
+        help="comma-separated experiment names "
+             f"({','.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--workers", "-j", type=int, default=None,
+        help="worker processes for the profile/full-run fan-out "
+             "(default $REPRO_WORKERS or in-process)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="bypass the artifact store (compute everything in memory)",
+    )
+
+
+def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the :class:`ExperimentRunner` an options namespace describes.
+
+    Args:
+        args: Parsed options from a parser prepared with
+            :func:`add_runner_options`.
+
+    Returns:
+        A configured runner (``--quick`` wins over ``--scale``).
+    """
+    kwargs: dict = {}
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if args.no_store:
+        kwargs["store"] = None
+    if args.quick:
+        return ExperimentRunner(
+            scale=QUICK_SCALE, benchmarks=QUICK_BENCHMARKS, **kwargs
+        )
+    return ExperimentRunner(scale=args.scale, **kwargs)
+
+
+def select_experiments(
+    parser: argparse.ArgumentParser, only: str
+) -> list[str]:
+    """Resolve an ``--only`` string into experiment names.
+
+    Args:
+        parser: Parser used to report unknown names.
+        only: Comma-separated experiment names, or empty for all.
+
+    Returns:
+        Names in battery order.
+    """
+    selected = (
+        [name.strip() for name in only.split(",") if name.strip()]
+        if only
+        else list(EXPERIMENTS)
+    )
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
+    return selected
+
+
+def figure_key(runner: ExperimentRunner, name: str) -> str:
+    """Artifact key for one rendered figure.
+
+    The key covers the runner's result-determining configuration, the
+    package code fingerprint, and the source of the figure's module plus
+    the shared harness modules — so editing one figure module invalidates
+    only that figure's cached output.
+
+    Args:
+        runner: The runner the figure would be computed with.
+        name: Experiment name in :data:`EXPERIMENTS`.
+
+    Returns:
+        A hex key string.
+    """
+    return ArtifactStore.derive_key(
+        figure=name,
+        runner=runner.fingerprint(),
+        code=code_fingerprint(),
+        deps=[
+            module_fingerprint(EXPERIMENTS[name]),
+            module_fingerprint(_common),
+            module_fingerprint(paper_data),
+        ],
+    )
+
+
+def run_experiments(
+    runner: ExperimentRunner,
+    names: list[str] | None = None,
+    on_result=None,
+) -> dict[str, str]:
+    """Regenerate figures, reusing cached outputs and prefetching the rest.
+
+    Figures whose rendered output is already in the store are served from
+    it; if any figure must be computed and the runner has ``workers`` > 1,
+    the missing profile/full-run passes are first fanned out across the
+    process pool.  Output text is byte-identical however it was obtained.
+
+    Args:
+        runner: The configured experiment runner.
+        names: Experiments to run, in order (default: the full battery).
+        on_result: Optional callback ``(name, output, seconds, cached)``
+            invoked after each figure.
+
+    Returns:
+        Mapping of experiment name to rendered output text.
+    """
+    if names is None:
+        names = list(EXPERIMENTS)
+    cached: dict[str, str] = {}
+    for name in names:
+        text = runner._store_get("figure", figure_key(runner, name))
+        if isinstance(text, str):
+            cached[name] = text
+    needed_kinds = sorted({
+        kind
+        for name in names
+        if name not in cached
+        for kind in EXPERIMENT_NEEDS.get(name, ("profiles", "full"))
+    })
+    if needed_kinds and runner.workers > 1:
+        runner.prefetch(kinds=tuple(needed_kinds))
+    outputs: dict[str, str] = {}
+    for name in names:
+        start = time.perf_counter()
+        if name in cached:
+            output = cached[name]
+        else:
+            output = EXPERIMENTS[name].run(runner)
+            runner._store_put("figure", figure_key(runner, name), output)
+        outputs[name] = output
+        if on_result is not None:
+            on_result(name, output, time.perf_counter() - start, name in cached)
+    return outputs
+
+
+def show_configs() -> str:
+    """Render Table I and Table II as configured."""
+    lines = ["Table I — simulated system characteristics (paper scale)"]
+    for cfg in (table1_8core(), table1_32core()):
+        lines.append(
+            f"  {cfg.name}: {cfg.num_sockets} socket(s) x "
+            f"{cfg.cores_per_socket} cores @ {cfg.core.frequency_ghz} GHz, "
+            f"{cfg.core.dispatch_width}-wide, ROB {cfg.core.rob_entries}, "
+            f"branch penalty {cfg.core.branch_miss_penalty}"
+        )
+        lines.append(
+            f"    L1-I {cfg.l1i.size_bytes // 1024} KB/{cfg.l1i.associativity}w"
+            f"/{cfg.l1i.latency_cycles}c, "
+            f"L1-D {cfg.l1d.size_bytes // 1024} KB/{cfg.l1d.associativity}w"
+            f"/{cfg.l1d.latency_cycles}c, "
+            f"L2 {cfg.l2.size_bytes // 1024} KB/{cfg.l2.associativity}w"
+            f"/{cfg.l2.latency_cycles}c, "
+            f"L3 {cfg.l3.size_bytes // (1024 * 1024)} MB/"
+            f"{cfg.l3.associativity}w/{cfg.l3.latency_cycles}c per socket"
+        )
+        lines.append(
+            f"    DRAM {cfg.mem.latency_ns} ns, "
+            f"{cfg.mem.bandwidth_gbps_per_socket} GB/s per socket"
+        )
+    lines.append("  evaluation machines (cache-scaled):")
+    for nt in (8, 32):
+        cfg = experiment_machine(nt)
+        lines.append(
+            f"    {cfg.name}: L1-D {cfg.l1d.num_lines} lines, "
+            f"L2 {cfg.l2.num_lines} lines, L3 {cfg.l3.num_lines} "
+            f"lines/socket"
+        )
+    sp = simpoint_defaults()
+    lines.append("Table II — SimPoint parameters")
+    lines.append(
+        f"  -dim {sp.projected_dims}  -maxK {sp.max_k}  "
+        f"-fixedLength {'on' if sp.fixed_length else 'off'}  "
+        f"-coveragePct {sp.coverage_pct:.0%}"
+    )
+    for key, value in paper_data.SIMPOINT_PARAMETERS.items():
+        lines.append(f"  (paper {key} = {value})")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None, prog: str = "repro run") -> int:
+    """Run the battery from CLI options and print every output.
+
+    Args:
+        argv: Argument list (default ``sys.argv[1:]``).
+        prog: Program name for help text.
+
+    Returns:
+        Process exit code.
+    """
+    parser = argparse.ArgumentParser(prog=prog)
+    add_runner_options(parser)
+    args = parser.parse_args(argv)
+    runner = runner_from_args(args)
+    selected = select_experiments(parser, args.only)
+
+    print(show_configs())
+    print()
+
+    def _report(name: str, output: str, seconds: float, cached: bool) -> None:
+        source = "store" if cached else "computed"
+        print(output)
+        print(f"[{name} regenerated in {seconds:.1f}s ({source})]")
+        print()
+
+    run_experiments(runner, selected, on_result=_report)
+    return 0

@@ -1,13 +1,22 @@
 """Shared infrastructure for the experiment harness.
 
 The expensive artifacts — functional profiles and full detailed runs per
-(benchmark, core count) — are computed once and memoized on the runner, so
-regenerating all nine figures/tables costs two full passes per benchmark
-configuration, exactly like the paper's own evaluation protocol.
+(benchmark, core count) — are computed once, memoized on the runner, *and*
+persisted through the content-keyed :class:`~repro.store.ArtifactStore`,
+so regenerating figures after a partial failure, in another process, or
+after a figure-only code change reuses everything whose inputs are
+unchanged instead of paying the full two-pass cost again.
+
+The per-(benchmark, core-count) passes are embarrassingly parallel;
+:meth:`ExperimentRunner.prefetch` fans them out across a process pool.
+Every pass is a deterministic function of ``(benchmark, threads, scale)``,
+so results are byte-identical regardless of worker count or scheduling.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.config import (
@@ -24,6 +33,7 @@ from repro.core.signatures import SIGNATURE_VARIANTS, SignatureConfig
 from repro.errors import ConfigError
 from repro.profiling.profiler import RegionProfile
 from repro.sim.machine import FullRunResult
+from repro.store import ArtifactStore, code_fingerprint
 from repro.workloads import WORKLOAD_NAMES, Workload, get_workload
 
 CORE_COUNTS = (8, 32)
@@ -38,23 +48,183 @@ def experiment_machine(num_threads: int) -> MachineConfig:
     raise ConfigError(f"evaluation uses 8 or 32 cores, not {num_threads}")
 
 
+def _default_workers() -> int:
+    """Worker-count default: ``$REPRO_WORKERS``, else 0 (in-process)."""
+    return int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+def _pair_key(scale: float, name: str, num_threads: int) -> str:
+    """Artifact key for one (benchmark, core count) pass at ``scale``.
+
+    The key covers the workload identity and scale, the evaluation
+    machine's full configuration, and the package code fingerprint —
+    everything a profile or full run is a deterministic function of.
+    """
+    return ArtifactStore.derive_key(
+        workload=name,
+        threads=num_threads,
+        scale=scale,
+        machine=experiment_machine(num_threads).fingerprint(),
+        code=code_fingerprint(),
+    )
+
+
+def _compute_pair(task: tuple) -> tuple[str, int, dict]:
+    """Pool worker: compute the expensive passes for one (benchmark, nt).
+
+    Args:
+        task: ``(name, num_threads, scale, store_root, want_profiles,
+            want_full)``.  ``store_root`` of ``None`` skips persistence.
+
+    Returns:
+        ``(name, num_threads, states)`` where ``states`` maps ``"profiles"``
+        to a list of :meth:`RegionProfile.to_state` dicts and/or ``"full"``
+        to a :meth:`FullRunResult.to_state` dict.
+    """
+    name, num_threads, scale, store_root, want_profiles, want_full = task
+    workload = get_workload(name, num_threads, scale)
+    pipe = BarrierPointPipeline(experiment_machine(num_threads))
+    store = ArtifactStore(root=store_root) if store_root is not None else None
+    key = _pair_key(scale, name, num_threads)
+    states: dict = {}
+    if want_profiles:
+        profiles = pipe.profile(workload)
+        states["profiles"] = [p.to_state() for p in profiles]
+        if store is not None:
+            store.put("profiles", key, states["profiles"])
+    if want_full:
+        full = pipe.full_run(workload)
+        states["full"] = full.to_state()
+        if store is not None:
+            store.put("full", key, states["full"])
+    return name, num_threads, states
+
+
 @dataclass
 class ExperimentRunner:
-    """Memoizing driver for all experiments.
+    """Memoizing, store-backed driver for all experiments.
 
     ``scale`` shrinks workloads uniformly (1.0 = the calibrated default
     used for all reported numbers; tests use smaller values for speed).
-    ``benchmarks`` defaults to the paper's full suite.
+    ``benchmarks`` defaults to the paper's full suite.  ``workers`` > 1
+    enables the process-parallel prefetch of profile/full-run passes
+    (default from ``$REPRO_WORKERS``; results are identical either way).
+    ``store`` persists the expensive artifacts across processes and runs;
+    pass ``None`` to keep everything in memory.
     """
 
     scale: float = 1.0
     benchmarks: tuple[str, ...] = WORKLOAD_NAMES
     simpoint: SimPointConfig = field(default_factory=simpoint_defaults)
+    workers: int = field(default_factory=_default_workers)
+    store: ArtifactStore | None = field(default_factory=ArtifactStore)
     _workloads: dict = field(default_factory=dict, repr=False)
     _profiles: dict = field(default_factory=dict, repr=False)
     _fulls: dict = field(default_factory=dict, repr=False)
     _selections: dict = field(default_factory=dict, repr=False)
     _warmups: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Store plumbing
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Digest of the runner's result-determining configuration.
+
+        Covers scale, benchmark suite, and SimPoint parameters — the
+        inputs a rendered figure depends on beyond the code itself.
+        ``workers`` and the store are excluded: they never change results.
+        """
+        return ArtifactStore.derive_key(
+            scale=self.scale,
+            benchmarks=list(self.benchmarks),
+            simpoint=self.simpoint.fingerprint(),
+        )
+
+    def _store_get(self, kind: str, key: str) -> object | None:
+        """Store lookup that tolerates a disabled/absent store."""
+        if self.store is None:
+            return None
+        return self.store.get(kind, key)
+
+    def _store_put(self, kind: str, key: str, payload: object) -> None:
+        """Store write that tolerates a disabled/absent store."""
+        if self.store is not None:
+            self.store.put(kind, key, payload)
+
+    # ------------------------------------------------------------------
+    # Parallel prefetch
+    # ------------------------------------------------------------------
+
+    def prefetch(
+        self,
+        pairs: list[tuple[str, int]] | None = None,
+        kinds: tuple[str, ...] = ("profiles", "full"),
+    ) -> int:
+        """Fan the missing profile/full-run passes out across processes.
+
+        Every (benchmark, core count) pass not already memoized or in the
+        store is computed in a :class:`~concurrent.futures.ProcessPoolExecutor`
+        with ``self.workers`` workers; results land in the in-memory memo
+        and (when a store is configured) on disk, where other processes
+        can reuse them.  Each pass is deterministic, so the outcome is
+        identical to computing serially.
+
+        Args:
+            pairs: ``(benchmark, num_threads)`` pairs to cover; defaults
+                to ``benchmarks`` × ``CORE_COUNTS``.
+            kinds: Which pass kinds to cover, from ``("profiles",
+                "full")``; callers that know they only need one kind
+                (e.g. selection-only figures) restrict the fan-out.
+
+        Returns:
+            Number of passes computed by the pool (0 when everything was
+            already available or ``workers`` <= 1).
+        """
+        if pairs is None:
+            pairs = [(b, nt) for b in self.benchmarks for nt in CORE_COUNTS]
+        tasks = []
+        store_root = None
+        if self.store is not None and self.store.enabled:
+            store_root = str(self.store.root)
+        for name, num_threads in pairs:
+            memo_key = (name, num_threads)
+            akey = _pair_key(self.scale, name, num_threads)
+            want_profiles = "profiles" in kinds and (
+                memo_key not in self._profiles
+                and not (
+                    self.store is not None
+                    and self.store.has("profiles", akey)
+                )
+            )
+            want_full = "full" in kinds and (
+                memo_key not in self._fulls
+                and not (
+                    self.store is not None and self.store.has("full", akey)
+                )
+            )
+            if want_profiles or want_full:
+                tasks.append(
+                    (name, num_threads, self.scale, store_root,
+                     want_profiles, want_full)
+                )
+        if not tasks or self.workers <= 1:
+            return 0
+        computed = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            for name, num_threads, states in pool.map(_compute_pair, tasks):
+                memo_key = (name, num_threads)
+                if "profiles" in states:
+                    self._profiles[memo_key] = [
+                        RegionProfile.from_state(s) for s in states["profiles"]
+                    ]
+                    computed += 1
+                if "full" in states:
+                    self._fulls[memo_key] = FullRunResult.from_state(
+                        states["full"]
+                    )
+                    computed += 1
+        return computed
 
     # ------------------------------------------------------------------
     # Cached building blocks
@@ -79,19 +249,37 @@ class ExperimentRunner:
         )
 
     def profiles(self, name: str, num_threads: int) -> list[RegionProfile]:
-        """Functional profiles (one expensive pass, cached)."""
+        """Functional profiles (one expensive pass; memo + store cached)."""
         key = (name, num_threads)
         if key not in self._profiles:
-            pipe = self.pipeline(num_threads)
-            self._profiles[key] = pipe.profile(self.workload(name, num_threads))
+            akey = _pair_key(self.scale, name, num_threads)
+            states = self._store_get("profiles", akey)
+            if states is not None:
+                self._profiles[key] = [
+                    RegionProfile.from_state(s) for s in states
+                ]
+            else:
+                pipe = self.pipeline(num_threads)
+                computed = pipe.profile(self.workload(name, num_threads))
+                self._store_put(
+                    "profiles", akey, [p.to_state() for p in computed]
+                )
+                self._profiles[key] = computed
         return self._profiles[key]
 
     def full(self, name: str, num_threads: int) -> FullRunResult:
-        """Full detailed reference run (one expensive pass, cached)."""
+        """Full detailed reference run (one expensive pass; memo + store)."""
         key = (name, num_threads)
         if key not in self._fulls:
-            pipe = self.pipeline(num_threads)
-            self._fulls[key] = pipe.full_run(self.workload(name, num_threads))
+            akey = _pair_key(self.scale, name, num_threads)
+            state = self._store_get("full", akey)
+            if state is not None:
+                self._fulls[key] = FullRunResult.from_state(state)
+            else:
+                pipe = self.pipeline(num_threads)
+                computed = pipe.full_run(self.workload(name, num_threads))
+                self._store_put("full", akey, computed.to_state())
+                self._fulls[key] = computed
         return self._fulls[key]
 
     def selection(

@@ -77,6 +77,32 @@ class AccessCounters:
         """Line transfers on the DRAM bus (fills + writebacks)."""
         return self.l3_misses + self.writebacks
 
+    def to_state(self) -> dict:
+        """Serialize to a plain dict (artifact-store payload).
+
+        Returns:
+            A dict of counter names to ints/tuples, consumed by
+            :meth:`from_state`.
+        """
+        return {
+            name: getattr(self, name) for name in AccessCounters.__slots__
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> AccessCounters:
+        """Rebuild counters from a :meth:`to_state` dict.
+
+        Args:
+            state: A dict produced by :meth:`to_state`.
+
+        Returns:
+            An equivalent :class:`AccessCounters`.
+        """
+        kwargs = dict(state)
+        for name in ("dram_reads_per_socket", "dram_writebacks_per_socket"):
+            kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
+
     def delta(self, earlier: AccessCounters) -> AccessCounters:
         """Counter difference ``self - earlier`` (for per-region metrics)."""
         return AccessCounters(

@@ -47,6 +47,41 @@ class RegionProfile:
         """Thread count the profile was collected with."""
         return self.bbv.shape[0]
 
+    def to_state(self) -> dict:
+        """Serialize to a plain dict (artifact-store payload).
+
+        Returns:
+            A dict of scalars plus the BBV/LDV arrays, consumed by
+            :meth:`from_state`.
+        """
+        return {
+            "region_index": self.region_index,
+            "phase": self.phase,
+            "instructions": self.instructions,
+            "per_thread_instructions": tuple(self.per_thread_instructions),
+            "bbv": self.bbv,
+            "ldv": self.ldv,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> RegionProfile:
+        """Rebuild a region profile from a :meth:`to_state` dict.
+
+        Args:
+            state: A dict produced by :meth:`to_state`.
+
+        Returns:
+            An equivalent :class:`RegionProfile` (arrays bit-identical).
+        """
+        return cls(
+            region_index=state["region_index"],
+            phase=state["phase"],
+            instructions=state["instructions"],
+            per_thread_instructions=tuple(state["per_thread_instructions"]),
+            bbv=np.asarray(state["bbv"]),
+            ldv=np.asarray(state["ldv"]),
+        )
+
 
 class _LdvBatcher:
     """Per-thread LDV accumulation across region boundaries.

@@ -50,6 +50,39 @@ class FullRunResult:
             )  # pragma: no cover - guarded by construction
         return found
 
+    def to_state(self) -> dict:
+        """Serialize to a plain dict (artifact-store payload).
+
+        Returns:
+            A dict of identifying fields plus one state dict per region,
+            consumed by :meth:`from_state`.
+        """
+        return {
+            "workload_name": self.workload_name,
+            "num_threads": self.num_threads,
+            "machine_name": self.machine_name,
+            "regions": tuple(r.to_state() for r in self.regions),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> FullRunResult:
+        """Rebuild a full-run result from a :meth:`to_state` dict.
+
+        Args:
+            state: A dict produced by :meth:`to_state`.
+
+        Returns:
+            An equivalent :class:`FullRunResult`.
+        """
+        return cls(
+            workload_name=state["workload_name"],
+            num_threads=state["num_threads"],
+            machine_name=state["machine_name"],
+            regions=tuple(
+                RegionMetrics.from_state(r) for r in state["regions"]
+            ),
+        )
+
 
 class Machine:
     """A simulated shared-memory machine (Table I parameters).

@@ -56,6 +56,40 @@ class RegionMetrics:
         """DRAM accesses per kilo-instruction (the paper's APKI metric)."""
         return 1000.0 * self.counters.dram_accesses / self.instructions
 
+    def to_state(self) -> dict:
+        """Serialize to a plain dict (artifact-store payload).
+
+        Returns:
+            A dict of scalars, tuples, and the nested counter dict,
+            consumed by :meth:`from_state`.
+        """
+        return {
+            "region_index": self.region_index,
+            "phase": self.phase,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "per_thread_cycles": tuple(self.per_thread_cycles),
+            "counters": self.counters.to_state(),
+            "barrier_cycles": self.barrier_cycles,
+            "bandwidth_limited": self.bandwidth_limited,
+            "frequency_ghz": self.frequency_ghz,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> RegionMetrics:
+        """Rebuild region metrics from a :meth:`to_state` dict.
+
+        Args:
+            state: A dict produced by :meth:`to_state`.
+
+        Returns:
+            An equivalent :class:`RegionMetrics`.
+        """
+        kwargs = dict(state)
+        kwargs["per_thread_cycles"] = tuple(kwargs["per_thread_cycles"])
+        kwargs["counters"] = AccessCounters.from_state(kwargs["counters"])
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class AppMetrics:

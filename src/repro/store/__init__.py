@@ -1,0 +1,28 @@
+"""Persistent, content-keyed artifact store for the evaluation pipeline.
+
+The store decouples *computing* the paper's expensive artifacts (functional
+profiles, full detailed runs, rendered figures) from *consuming* them:
+every artifact is written to disk under a key derived from the workload,
+scale, machine configuration, and a fingerprint of the package source, so
+any run — serial, parallel, or in a fresh process — transparently reuses
+whatever is still valid and recomputes only what changed.
+
+See :mod:`repro.store.artifacts` for the file format and durability
+guarantees and :mod:`repro.store.fingerprint` for key derivation.
+"""
+
+from repro.store.artifacts import DEFAULT_ROOT, SCHEMA_VERSION, ArtifactStore
+from repro.store.fingerprint import (
+    code_fingerprint,
+    config_fingerprint,
+    module_fingerprint,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_ROOT",
+    "SCHEMA_VERSION",
+    "code_fingerprint",
+    "config_fingerprint",
+    "module_fingerprint",
+]

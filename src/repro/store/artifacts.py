@@ -1,0 +1,257 @@
+"""Disk-backed, content-keyed artifact store.
+
+Expensive evaluation artifacts — functional profiles, full detailed-run
+results, rendered figure outputs — are persisted under a root directory,
+keyed by a digest of everything that determines their content (workload,
+scale, machine config, code fingerprint; see
+:mod:`repro.store.fingerprint`).  Re-running the experiment battery after
+a partial failure, in another process, or after a figure-only change then
+reuses every artifact whose inputs are unchanged instead of recomputing
+two full passes per benchmark configuration.
+
+File format and guarantees:
+
+* every artifact file is ``magic + sha256(body) + body`` where ``body``
+  is the pickled payload, so truncated or corrupted files are *detected*
+  on load and treated as misses (and unlinked), never crashes;
+* writes go through a temporary file and :func:`os.replace`, so
+  concurrent writers — the parallel experiment runner's worker processes —
+  can never leave a half-written artifact behind;
+* a schema version participates in key derivation, so format changes
+  simply miss old artifacts rather than misreading them.
+
+Environment knobs (read at store construction):
+
+* ``REPRO_STORE_DIR`` — root directory (default ``.repro-store``);
+* ``REPRO_STORE=0`` — disable the store entirely (compute everything).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+
+from repro.store.fingerprint import config_fingerprint
+
+#: Bumped whenever the on-disk artifact encoding changes; participates in
+#: key derivation so old files become unreachable, not misread.
+SCHEMA_VERSION = 1
+
+_MAGIC = b"RPROSTORE1\n"
+_DIGEST_BYTES = 32
+
+#: Default store root, relative to the working directory.
+DEFAULT_ROOT = ".repro-store"
+
+
+class ArtifactStore:
+    """A content-keyed persistent cache of evaluation artifacts.
+
+    Parameters
+    ----------
+    root:
+        Store root directory.  Defaults to ``$REPRO_STORE_DIR`` or
+        ``.repro-store`` under the current working directory.
+    enabled:
+        Force the store on/off.  Defaults to ``$REPRO_STORE != "0"``.
+
+    A disabled store misses every ``get`` and drops every ``put``, so
+    callers never need to special-case it.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_STORE_DIR", DEFAULT_ROOT)
+        if enabled is None:
+            enabled = os.environ.get("REPRO_STORE", "1") != "0"
+        self.root = pathlib.Path(root)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def derive_key(**parts: object) -> str:
+        """Digest keyword parts into an artifact key.
+
+        Args:
+            **parts: Everything that determines the artifact's content
+                (fingerprints, scalars, sequences).  ``SCHEMA_VERSION``
+                is mixed in automatically.
+
+        Returns:
+            A hex key string.
+        """
+        return config_fingerprint(dict(parts, _schema=SCHEMA_VERSION))
+
+    def path_for(self, kind: str, key: str) -> pathlib.Path:
+        """Filesystem path of the artifact ``(kind, key)``."""
+        return self.root / kind / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def has(self, kind: str, key: str) -> bool:
+        """Whether an artifact file exists (without validating it)."""
+        return self.enabled and self.path_for(kind, key).is_file()
+
+    def get(self, kind: str, key: str) -> object | None:
+        """Load an artifact, or ``None`` on miss or corruption.
+
+        A file that is missing, truncated, or fails its integrity check
+        counts as a miss; corrupt files are unlinked so the subsequent
+        ``put`` heals the store.
+
+        Args:
+            kind: Artifact namespace (``"profiles"``, ``"full"``, ...).
+            key: Key from :meth:`derive_key`.
+
+        Returns:
+            The stored payload, or ``None``.
+        """
+        loaded = self._load(kind, key)
+        return None if loaded is None else loaded[0]
+
+    def put(self, kind: str, key: str, payload: object) -> pathlib.Path | None:
+        """Persist an artifact atomically.
+
+        Args:
+            kind: Artifact namespace.
+            key: Key from :meth:`derive_key`.
+            payload: Any picklable object.
+
+        Returns:
+            The artifact's path, or ``None`` when the store is disabled.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps((payload,), protocol=4)
+        blob = _MAGIC + hashlib.sha256(body).digest() + body
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_compute(self, kind: str, key: str, compute) -> object:
+        """Return the cached artifact, computing and storing it on miss.
+
+        A stored ``None`` payload is a hit (the one-tuple wrapper on disk
+        distinguishes it from a genuine miss).
+
+        Args:
+            kind: Artifact namespace.
+            key: Key from :meth:`derive_key`.
+            compute: Zero-argument callable producing the payload.
+
+        Returns:
+            The cached or freshly computed payload.
+        """
+        loaded = self._load(kind, key)
+        if loaded is not None:
+            return loaded[0]
+        payload = compute()
+        self.put(kind, key, payload)
+        return payload
+
+    def clear(self) -> int:
+        """Delete every stored artifact.
+
+        Returns:
+            Number of bytes freed.
+        """
+        freed = 0
+        if not self.root.is_dir():
+            return freed
+        # Concurrent writers (parallel-runner workers) may add or remove
+        # entries while we walk; every step tolerates the race.
+        for path in sorted(self.root.rglob("*"), reverse=True):
+            try:
+                if path.is_file():
+                    size = path.stat().st_size
+                    path.unlink()
+                    freed += size
+                elif path.is_dir():
+                    path.rmdir()
+            except OSError:
+                continue
+        try:
+            self.root.rmdir()
+        except OSError:  # pragma: no cover - root non-empty or in use
+            pass
+        return freed
+
+    def size_bytes(self) -> int:
+        """Total bytes currently stored."""
+        if not self.root.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.root.rglob("*") if p.is_file())
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _load(self, kind: str, key: str) -> tuple[object] | None:
+        """Load the wrapped payload one-tuple, or ``None`` on miss.
+
+        Keeps the stored-``None``-vs-miss distinction the one-tuple file
+        format preserves; corrupt files are unlinked.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(kind, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        payload = self._decode(blob)
+        if payload is None:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup is fine
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    @staticmethod
+    def _decode(blob: bytes) -> tuple[object] | None:
+        """Validate and unpickle an artifact file's bytes (``None`` = bad)."""
+        header = len(_MAGIC) + _DIGEST_BYTES
+        if len(blob) < header or not blob.startswith(_MAGIC):
+            return None
+        digest = blob[len(_MAGIC):header]
+        body = blob[header:]
+        if hashlib.sha256(body).digest() != digest:
+            return None
+        try:
+            payload = pickle.loads(body)
+        except Exception:
+            return None
+        if not isinstance(payload, tuple) or len(payload) != 1:
+            return None
+        return payload

@@ -1,0 +1,125 @@
+"""Stable fingerprints for artifact-store cache keys.
+
+Artifacts are valid only for the exact (workload, scale, machine config,
+code) combination that produced them.  This module provides the three
+fingerprint primitives the store keys are built from:
+
+* :func:`config_fingerprint` — a canonical hash of configuration values
+  (frozen dataclasses, dicts, sequences, scalars);
+* :func:`code_fingerprint` — a hash of every compute-relevant source file
+  of the ``repro`` package, so any code change invalidates cached results;
+* :func:`module_fingerprint` — a hash of a single module's source, used to
+  invalidate one figure's cached output when only that figure changed.
+
+All fingerprints are hex digests; they appear in key derivations only, so
+their exact length is an implementation detail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pathlib
+from types import ModuleType
+
+#: Package subtrees that never affect stored *computation* results: the
+#: experiment/figure harness gets per-module fingerprints instead (so a
+#: figure-only edit does not invalidate profiles), and the ``_reference``
+#: seed engines only feed the parity/perf benchmarks.
+_EXCLUDED_SUBTREES = ("experiments", "_reference")
+
+_PACKAGE_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+_code_fingerprint_cache: str | None = None
+
+
+def _canonical(obj: object) -> object:
+    """Reduce ``obj`` to a deterministic, repr-stable structure.
+
+    Args:
+        obj: A configuration value — a (possibly nested) frozen dataclass,
+            dict, sequence, or scalar.
+
+    Returns:
+        A nested tuple structure whose ``repr`` is stable across processes
+        and insertion orders.
+
+    Raises:
+        TypeError: If ``obj`` contains a value with no canonical form.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple(
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(sorted((str(k), _canonical(v)) for k, v in obj.items())),
+        )
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in obj))
+    if isinstance(obj, float):
+        return ("float", repr(obj))
+    if obj is None or isinstance(obj, (str, int, bool, bytes)):
+        return obj
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r}; pass dataclasses, "
+        f"dicts, sequences, or scalars"
+    )
+
+
+def config_fingerprint(*objs: object) -> str:
+    """Hash configuration values into a stable hex digest.
+
+    Args:
+        *objs: Configuration values (frozen dataclasses, dicts, sequences,
+            scalars), hashed in order.
+
+    Returns:
+        A 16-character hex digest, identical across processes and runs for
+        equal inputs.
+    """
+    blob = repr(tuple(_canonical(o) for o in objs)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def code_fingerprint() -> str:
+    """Hash the compute-relevant source of the ``repro`` package.
+
+    Walks every ``.py`` file under the installed package except the
+    :data:`_EXCLUDED_SUBTREES`, in sorted path order.  Cached per process
+    (source files do not change underneath a running interpreter).
+
+    Returns:
+        A 16-character hex digest of (path, content) pairs.
+    """
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        digest = hashlib.sha256()
+        for path in sorted(_PACKAGE_ROOT.rglob("*.py")):
+            rel = path.relative_to(_PACKAGE_ROOT)
+            if rel.parts[0] in _EXCLUDED_SUBTREES:
+                continue
+            digest.update(str(rel).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint_cache = digest.hexdigest()[:16]
+    return _code_fingerprint_cache
+
+
+def module_fingerprint(module: ModuleType) -> str:
+    """Hash one module's source file.
+
+    Args:
+        module: An imported module backed by a ``.py`` file.
+
+    Returns:
+        A 16-character hex digest of the module's source bytes.
+    """
+    source = pathlib.Path(module.__file__).read_bytes()
+    return hashlib.sha256(source).hexdigest()[:16]

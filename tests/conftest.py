@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import CacheConfig, CoreConfig, MachineConfig
 from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_store(tmp_path_factory):
+    """Point the artifact store at a per-session temp dir.
+
+    Keeps test runs hermetic (no reuse of a developer's ``.repro-store``)
+    and keeps the repository clean.  Tests that need their own store root
+    monkeypatch ``REPRO_STORE_DIR`` on top of this.
+    """
+    root = tmp_path_factory.mktemp("repro-store")
+    previous = os.environ.get("REPRO_STORE_DIR")
+    os.environ["REPRO_STORE_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_STORE_DIR", None)
+    else:  # pragma: no cover - depends on invoking environment
+        os.environ["REPRO_STORE_DIR"] = previous
 
 
 def tiny_machine(num_sockets: int = 1, cores_per_socket: int = 4) -> MachineConfig:

@@ -1,0 +1,169 @@
+"""Tests for the ``repro`` CLI and the battery driver.
+
+Includes the PR's acceptance property: the ``--quick`` battery with 4
+workers is byte-identical to the serial run, and a second invocation over
+a warm store is at least 5x faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import pytest
+
+from repro import cli
+from repro.experiments import battery
+from repro.experiments.common import ExperimentRunner
+from repro.store import ArtifactStore
+
+
+def quick_runner(store_dir, workers=0):
+    """The runner ``python -m repro.experiments --quick`` constructs."""
+    parser = argparse.ArgumentParser()
+    battery.add_runner_options(parser)
+    args = parser.parse_args(["--quick", "--workers", str(workers)])
+    runner = battery.runner_from_args(args)
+    assert runner.scale == battery.QUICK_SCALE
+    runner.store = ArtifactStore(root=store_dir)
+    return runner
+
+
+def test_quick_battery_parallel_identity_and_store_speedup(tmp_path):
+    """Acceptance: 4-worker == serial byte-for-byte; warm rerun >= 5x."""
+    t0 = time.perf_counter()
+    serial = battery.run_experiments(quick_runner(tmp_path / "serial"))
+    serial_seconds = time.perf_counter() - t0
+
+    parallel = battery.run_experiments(quick_runner(tmp_path / "par", 4))
+    assert parallel == serial  # byte-identical figure outputs
+
+    t0 = time.perf_counter()
+    rerun = battery.run_experiments(quick_runner(tmp_path / "par"))
+    rerun_seconds = time.perf_counter() - t0
+    assert rerun == serial
+    assert serial_seconds >= 5 * rerun_seconds, (
+        f"store-hit rerun took {rerun_seconds:.2f}s vs "
+        f"{serial_seconds:.2f}s cold"
+    )
+
+
+def test_figure_store_invalidates_per_module(tmp_path, monkeypatch):
+    """A figure-only change recomputes exactly that figure."""
+    runner = quick_runner(tmp_path)
+    runner.benchmarks = ("npb-is",)
+    names = ["fig1", "table3"]
+    battery.run_experiments(runner, names)
+
+    fresh = quick_runner(tmp_path)
+    fresh.benchmarks = ("npb-is",)
+    seen: list[tuple[str, bool]] = []
+    monkeypatch.setattr(
+        battery, "module_fingerprint",
+        lambda mod: "edited" if mod is battery.EXPERIMENTS["table3"]
+        else "unchanged",
+    )
+    battery.run_experiments(
+        fresh, names,
+        on_result=lambda name, out, sec, cached: seen.append((name, cached)),
+    )
+    assert dict(seen) == {"fig1": False, "table3": False}
+
+    # Without the edit, both come from the store.
+    monkeypatch.undo()
+    seen.clear()
+    again = quick_runner(tmp_path)
+    again.benchmarks = ("npb-is",)
+    battery.run_experiments(
+        again, names,
+        on_result=lambda name, out, sec, cached: seen.append((name, cached)),
+    )
+    assert dict(seen) == {"fig1": True, "table3": True}
+
+
+def test_battery_main_smoke(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    assert battery.main(["--quick", "--only", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Fig. 1" in out and "(computed)" in out
+    # Second run serves the figure from the store.
+    assert battery.main(["--quick", "--only", "fig1"]) == 0
+    assert "(store)" in capsys.readouterr().out
+
+
+def test_battery_rejects_unknown_experiment(capsys):
+    with pytest.raises(SystemExit):
+        battery.main(["--quick", "--only", "fig2"])
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_cli_run_smoke(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    assert cli.main(["run", "--quick", "--only", "fig1"]) == 0
+    assert "Fig. 1" in capsys.readouterr().out
+
+
+def test_cli_figures_writes_files(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    out_dir = tmp_path / "artifacts"
+    assert cli.main([
+        "figures", "--quick", "--only", "fig1,table3", "--out", str(out_dir),
+    ]) == 0
+    fig1 = (out_dir / "fig1.txt").read_text()
+    assert "Fig. 1" in fig1 and fig1.endswith("\n")
+    assert "Table III" in (out_dir / "table3.txt").read_text()
+
+
+def test_cli_no_store_bypasses_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    parser = argparse.ArgumentParser()
+    battery.add_runner_options(parser)
+    runner = battery.runner_from_args(
+        parser.parse_args(["--quick", "--no-store"])
+    )
+    assert runner.store is None
+
+
+def test_cli_clean(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    store = ArtifactStore()
+    store.put("demo", store.derive_key(x=1), "payload")
+
+    assert cli.main(["clean", "--dry-run"]) == 0
+    assert "bytes" in capsys.readouterr().out
+    assert store.size_bytes() > 0
+
+    assert cli.main(["clean"]) == 0
+    assert store.size_bytes() == 0
+
+
+def test_cli_bench_rejects_unknown_target(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["bench", "not-a-target"])
+    err = capsys.readouterr().err
+    assert "unknown bench targets" in err
+
+
+def test_workers_default_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert ExperimentRunner(scale=0.1).workers == 3
+
+
+def test_experiment_needs_covers_registry():
+    assert set(battery.EXPERIMENT_NEEDS) == set(battery.EXPERIMENTS)
+
+
+def test_prefetch_scoped_to_selected_experiments(tmp_path, monkeypatch):
+    """``--only fig1`` must not fan out the expensive passes at all."""
+    runner = quick_runner(tmp_path)
+    runner.workers = 4
+    calls: list[tuple] = []
+    monkeypatch.setattr(
+        type(runner), "prefetch",
+        lambda self, pairs=None, kinds=("profiles", "full"):
+        calls.append((pairs, kinds)) or 0,
+    )
+    battery.run_experiments(runner, ["fig1"])
+    assert calls == []  # fig1 needs neither profiles nor full runs
+    battery.run_experiments(runner, ["table3"])
+    assert calls == [(None, ("profiles",))]  # selection-only figure

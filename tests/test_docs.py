@@ -1,0 +1,30 @@
+"""Documentation health: the link checker passes and core docs exist."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_core_documents_exist():
+    for name in (
+        "README.md",
+        "EXPERIMENTS.md",
+        "docs/architecture.md",
+        "docs/cli.md",
+    ):
+        assert (ROOT / name).is_file(), f"missing {name}"
+
+
+def test_markdown_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,51 @@
+"""Smoke tests: every example must run against the current API.
+
+Examples are documentation-adjacent code; running them (at a tiny scale,
+via the ``REPRO_SCALE`` knob they all honor) keeps them from drifting as
+the API evolves.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+#: Output each example must produce (guards against silent no-ops).
+EXPECTED_OUTPUT = {
+    "quickstart": "BarrierPoint estimate",
+    "warmup_study": "MRU warmup replayed",
+    "cross_architecture": "core speedup",
+    "custom_workload": "estimate error vs full simulation",
+}
+
+
+def test_every_example_is_covered():
+    assert {p.stem for p in EXAMPLES} == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path: pathlib.Path):
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(ROOT / "src"),
+        REPRO_SCALE="0.1",
+    )
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, (
+        f"{path.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert EXPECTED_OUTPUT[path.stem] in result.stdout

@@ -1,0 +1,229 @@
+"""Tests for the persistent artifact store and its runner integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BarrierPointPipeline
+from repro.experiments import common
+from repro.experiments.common import ExperimentRunner, _pair_key
+from repro.store import ArtifactStore, config_fingerprint, code_fingerprint
+from repro.store import fingerprint as fingerprint_mod
+
+SCALE = 0.1
+BENCH = "npb-is"
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(root=tmp_path / "store")
+
+
+def make_runner(tmp_path, **kwargs):
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("benchmarks", (BENCH,))
+    kwargs.setdefault("store", ArtifactStore(root=tmp_path / "store"))
+    return ExperimentRunner(**kwargs)
+
+
+def forbid_compute(monkeypatch):
+    """Make recomputation an error, so only store/memo hits can succeed."""
+
+    def _boom(self, workload):
+        raise AssertionError("expensive pass recomputed despite store hit")
+
+    monkeypatch.setattr(BarrierPointPipeline, "profile", _boom)
+    monkeypatch.setattr(BarrierPointPipeline, "full_run", _boom)
+
+
+class TestArtifactStore:
+    def test_round_trip(self, store):
+        key = store.derive_key(kind="demo", x=1)
+        payload = {"arr": np.arange(5), "s": "text"}
+        assert store.get("demo", key) is None
+        store.put("demo", key, payload)
+        loaded = store.get("demo", key)
+        assert loaded["s"] == "text"
+        assert np.array_equal(loaded["arr"], payload["arr"])
+        assert store.hits == 1 and store.misses == 1
+
+    def test_key_changes_with_parts(self):
+        base = ArtifactStore.derive_key(workload="a", scale=0.1)
+        assert base != ArtifactStore.derive_key(workload="a", scale=0.2)
+        assert base != ArtifactStore.derive_key(workload="b", scale=0.1)
+        assert base == ArtifactStore.derive_key(scale=0.1, workload="a")
+
+    def test_disabled_store_is_inert(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "s", enabled=False)
+        key = store.derive_key(x=1)
+        assert store.put("demo", key, "payload") is None
+        assert store.get("demo", key) is None
+        assert not (tmp_path / "s").exists()
+
+    def test_truncated_file_is_a_miss(self, store):
+        key = store.derive_key(x="trunc")
+        path = store.put("demo", key, list(range(1000)))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert store.get("demo", key) is None
+        assert not path.exists()  # corrupt file unlinked
+        # ... and get_or_compute heals it.
+        assert store.get_or_compute("demo", key, lambda: "fresh") == "fresh"
+        assert store.get("demo", key) == "fresh"
+
+    def test_garbage_file_is_a_miss(self, store):
+        key = store.derive_key(x="garbage")
+        path = store.put("demo", key, "payload")
+        path.write_bytes(b"\x80\x04not a valid artifact at all")
+        assert store.get("demo", key) is None
+
+    def test_tampered_body_is_a_miss(self, store):
+        key = store.derive_key(x="tamper")
+        path = store.put("demo", key, "payload")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.get("demo", key) is None
+
+    def test_get_or_compute_caches_none_payload(self, store):
+        key = store.derive_key(x="none")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None
+
+        assert store.get_or_compute("demo", key, compute) is None
+        assert store.get_or_compute("demo", key, compute) is None
+        assert calls == [1]  # stored None is a hit, not a recompute
+
+    def test_clear_and_size(self, store):
+        store.put("demo", store.derive_key(x=1), "a")
+        store.put("other", store.derive_key(x=2), "b")
+        assert store.size_bytes() > 0
+        freed = store.clear()
+        assert freed > 0
+        assert store.size_bytes() == 0
+        assert store.clear() == 0
+
+
+class TestFingerprints:
+    def test_config_fingerprint_stability(self):
+        from repro.config import simpoint_defaults, table1_8core
+
+        assert table1_8core().fingerprint() == table1_8core().fingerprint()
+        assert table1_8core().fingerprint() != simpoint_defaults().fingerprint()
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_config_fingerprint_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            config_fingerprint(object())
+
+    def test_code_fingerprint_cached_and_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestRunnerIntegration:
+    def test_cross_runner_reuse(self, tmp_path, monkeypatch):
+        writer = make_runner(tmp_path)
+        profiles = writer.profiles(BENCH, 8)
+        full = writer.full(BENCH, 8)
+
+        # A fresh runner (same config, same store) must not recompute.
+        forbid_compute(monkeypatch)
+        reader = make_runner(tmp_path)
+        reloaded_profiles = reader.profiles(BENCH, 8)
+        reloaded_full = reader.full(BENCH, 8)
+
+        assert len(reloaded_profiles) == len(profiles)
+        for a, b in zip(reloaded_profiles, profiles):
+            assert np.array_equal(a.bbv, b.bbv)
+            assert np.array_equal(a.ldv, b.ldv)
+            assert a.per_thread_instructions == b.per_thread_instructions
+        assert reloaded_full.app.cycles == full.app.cycles
+        assert [r.to_state() for r in reloaded_full.regions] == [
+            r.to_state() for r in full.regions
+        ]
+
+    def test_miss_on_scale_change(self, tmp_path, monkeypatch):
+        make_runner(tmp_path).profiles(BENCH, 8)
+        forbid_compute(monkeypatch)
+        other = make_runner(tmp_path, scale=0.12)
+        with pytest.raises(AssertionError, match="recomputed"):
+            other.profiles(BENCH, 8)
+
+    def test_miss_on_code_change(self, tmp_path, monkeypatch):
+        make_runner(tmp_path).profiles(BENCH, 8)
+        monkeypatch.setattr(
+            fingerprint_mod, "_code_fingerprint_cache", "0" * 16
+        )
+        forbid_compute(monkeypatch)
+        with pytest.raises(AssertionError, match="recomputed"):
+            make_runner(tmp_path).profiles(BENCH, 8)
+
+    def test_corrupt_artifact_recomputes(self, tmp_path):
+        writer = make_runner(tmp_path)
+        baseline = writer.full(BENCH, 8)
+        key = _pair_key(SCALE, BENCH, 8)
+        path = writer.store.path_for("full", key)
+        path.write_bytes(path.read_bytes()[:40])
+
+        recovered = make_runner(tmp_path).full(BENCH, 8)
+        assert recovered.to_state() == baseline.to_state()
+        # The recompute healed the store for the next reader.
+        assert make_runner(tmp_path).store.get("full", key) is not None
+
+    def test_runner_without_store(self, tmp_path):
+        runner = make_runner(tmp_path, store=None)
+        assert runner.profiles(BENCH, 8)
+        assert not (tmp_path / "store").exists()
+
+
+class TestParallelPrefetch:
+    def test_prefetch_populates_store_and_memo(self, tmp_path, monkeypatch):
+        runner = make_runner(tmp_path, workers=2)
+        computed = runner.prefetch(pairs=[(BENCH, 8)])
+        assert computed == 2  # profiles + full
+
+        # Memoized in the parent without further compute...
+        forbid_compute(monkeypatch)
+        assert runner.profiles(BENCH, 8)
+        assert runner.full(BENCH, 8)
+
+        # ...and persisted by the *worker process* for other processes.
+        reader = make_runner(tmp_path)
+        assert reader.profiles(BENCH, 8)
+        assert reader.full(BENCH, 8)
+        assert reader.store.hits == 2
+
+    def test_prefetch_skips_available_work(self, tmp_path):
+        runner = make_runner(tmp_path, workers=2)
+        assert runner.prefetch(pairs=[(BENCH, 8)]) == 2
+        assert runner.prefetch(pairs=[(BENCH, 8)]) == 0
+        # A fresh runner sees the store and also does nothing.
+        assert make_runner(tmp_path, workers=2).prefetch(
+            pairs=[(BENCH, 8)]
+        ) == 0
+
+    def test_prefetch_serial_runner_is_noop(self, tmp_path):
+        runner = make_runner(tmp_path, workers=0)
+        assert runner.prefetch(pairs=[(BENCH, 8)]) == 0
+
+    def test_parallel_results_match_serial(self, tmp_path):
+        serial = make_runner(tmp_path, store=None)
+        parallel = make_runner(tmp_path, workers=2)
+        parallel.prefetch(pairs=[(BENCH, 8)])
+
+        sp, pp = serial.profiles(BENCH, 8), parallel.profiles(BENCH, 8)
+        assert len(sp) == len(pp)
+        for a, b in zip(sp, pp):
+            assert np.array_equal(a.bbv, b.bbv)
+            assert np.array_equal(a.ldv, b.ldv)
+        assert (
+            serial.full(BENCH, 8).to_state()
+            == parallel.full(BENCH, 8).to_state()
+        )

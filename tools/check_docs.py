@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository's documentation.
+
+Scans every tracked ``*.md`` file (repo root and ``docs/``) for inline
+markdown links and validates that relative targets exist on disk.
+External URLs are not fetched (CI must stay hermetic); anchors are
+stripped before the existence check.
+
+Exit status is non-zero when any link is broken, printing one line per
+offender — suitable both for the CI docs job and for
+``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Inline links: ``[text](target)``; images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not filesystem paths.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files() -> list[pathlib.Path]:
+    """Documentation files under the link-check mandate."""
+    files = sorted(ROOT.glob("*.md"))
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def broken_links(path: pathlib.Path) -> list[str]:
+    """Relative link targets in ``path`` that do not exist.
+
+    Args:
+        path: Markdown file to scan.
+
+    Returns:
+        Human-readable ``file: target`` strings, one per broken link.
+    """
+    offenders = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            offenders.append(f"{path.relative_to(ROOT)}: {target}")
+    return offenders
+
+
+def main() -> int:
+    """Check every documentation file; print offenders.
+
+    Returns:
+        0 when all relative links resolve, 1 otherwise.
+    """
+    files = iter_markdown_files()
+    offenders: list[str] = []
+    for path in files:
+        offenders += broken_links(path)
+    for line in offenders:
+        print(f"broken link — {line}")
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not offenders else f'{len(offenders)} broken link(s)'}")
+    return 1 if offenders else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
