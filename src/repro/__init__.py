@@ -15,6 +15,8 @@ Public API overview
   (``BarrierPointPipeline``).
 * :mod:`repro.config` — Table I machine presets and Table II SimPoint
   parameters.
+* :mod:`repro.machines` — the named, data-driven machine registry the
+  cross-architecture sweep iterates.
 * :mod:`repro.experiments` — regenerators for every figure and table of
   the paper's evaluation.
 """
@@ -42,6 +44,7 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.machines import get_machine, machine_names, register_machine
 from repro.sim import Machine
 from repro.workloads import WORKLOAD_NAMES, Workload, get_workload
 
@@ -62,7 +65,10 @@ __all__ = [
     "Workload",
     "WorkloadError",
     "__version__",
+    "get_machine",
     "get_workload",
+    "machine_names",
+    "register_machine",
     "scaled",
     "simpoint_defaults",
     "table1_8core",

@@ -6,6 +6,9 @@ for the user guide):
 * ``repro run`` — regenerate the evaluation battery (all figures/tables),
   parallel and incremental via the artifact store;
 * ``repro figures`` — same battery, but write each figure to a file;
+* ``repro sweep`` — the cross-architecture transfer sweep (machines ×
+  workloads matrix over the machine registry);
+* ``repro machines`` — list the machine registry;
 * ``repro bench`` — run the pytest benchmark harness (perf + figures)
   with the environment knobs set from flags;
 * ``repro clean`` — delete the artifact store.
@@ -21,8 +24,22 @@ import os
 import pathlib
 import sys
 
+from repro.errors import ConfigError
 from repro.experiments import battery
+from repro.machines import machine_summary
 from repro.store import ArtifactStore
+from repro.util.tables import format_table
+
+
+def _runner_or_error(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+):
+    """Build the runner, turning config errors into clean CLI errors."""
+    try:
+        return battery.runner_from_args(args)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
 
 def bench_targets(bench_dir: pathlib.Path) -> tuple[str, ...]:
     """``repro bench`` target shorthands, derived from the benchmark files.
@@ -59,6 +76,27 @@ def build_parser() -> argparse.ArgumentParser:
     figures_p.add_argument(
         "--out", type=pathlib.Path, default=pathlib.Path("benchmarks/results"),
         help="output directory (default benchmarks/results)",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="cross-architecture transfer sweep (machines x workloads)"
+    )
+    battery.add_runner_options(sweep_p)
+    sweep_p.add_argument(
+        "--workloads", type=str, default="",
+        help="comma-separated workload subset (default: the full suite)",
+    )
+    sweep_p.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the sweep figure to this file",
+    )
+
+    machines_p = sub.add_parser(
+        "machines", help="list the machine registry"
+    )
+    machines_p.add_argument(
+        "--fingerprints", action="store_true",
+        help="include each machine's artifact-store fingerprint",
     )
 
     bench_p = sub.add_parser(
@@ -98,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     """``repro run``: print configs and every regenerated figure."""
-    runner = battery.runner_from_args(args)
+    runner = _runner_or_error(args, parser)
     selected = battery.select_experiments(parser, args.only)
     print(battery.show_configs())
     print()
@@ -117,7 +155,7 @@ def cmd_figures(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
     """``repro figures``: write each regenerated figure to ``--out``."""
-    runner = battery.runner_from_args(args)
+    runner = _runner_or_error(args, parser)
     selected = battery.select_experiments(parser, args.only)
     args.out.mkdir(parents=True, exist_ok=True)
 
@@ -128,6 +166,62 @@ def cmd_figures(
         print(f"{path}  [{seconds:.1f}s, {source}]")
 
     battery.run_experiments(runner, selected, on_result=_report)
+    return 0
+
+
+def cmd_sweep(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro sweep``: the machines × workloads transfer-error matrix."""
+    runner = _runner_or_error(args, parser)
+    if args.workloads:
+        from repro.workloads import WORKLOAD_NAMES, registered_workloads
+
+        selected = tuple(
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        )
+        known = registered_workloads()
+        unknown = [w for w in selected if w not in known]
+        if unknown:
+            extensions = sorted(set(known) - set(WORKLOAD_NAMES))
+            parser.error(
+                f"unknown workloads {unknown}; paper suite: "
+                f"{sorted(WORKLOAD_NAMES)}; extension workloads: {extensions}"
+            )
+        runner.benchmarks = selected
+
+    def _report(name: str, output: str, seconds: float, cached: bool) -> None:
+        source = "store" if cached else "computed"
+        print(output)
+        print(f"[{name} regenerated in {seconds:.1f}s ({source})]")
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(output + "\n")
+            print(f"written to {args.out}")
+
+    battery.run_experiments(runner, ["sweep"], on_result=_report)
+    return 0
+
+
+def cmd_machines(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro machines``: print the machine registry."""
+    rows = machine_summary()
+    headers = ["machine", "cores", "sockets", "L3", "DRAM", "hierarchy"]
+    cells = [
+        [r["name"], r["cores"], r["sockets"], r["l3"], r["dram"],
+         r["hierarchy"]]
+        for r in rows
+    ]
+    if args.fingerprints:
+        headers.append("fingerprint")
+        for row, r in zip(cells, rows):
+            row.append(r["fingerprint"])
+    headers.append("description")
+    for row, r in zip(cells, rows):
+        row.append(r["description"])
+    print(format_table(headers, cells, title="Machine registry"))
     return 0
 
 
@@ -176,6 +270,8 @@ def cmd_clean(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 COMMANDS = {
     "run": cmd_run,
     "figures": cmd_figures,
+    "sweep": cmd_sweep,
+    "machines": cmd_machines,
     "bench": cmd_bench,
     "clean": cmd_clean,
 }

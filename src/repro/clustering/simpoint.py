@@ -21,7 +21,13 @@ from repro.errors import ClusteringError
 
 @dataclass(frozen=True)
 class ClusteringResult:
-    """Labels, representatives and model-selection diagnostics."""
+    """Labels, representatives and model-selection diagnostics.
+
+    ``chosen_k`` is the k the BIC sweep *selected* and is always a key of
+    ``bic_by_k``; ``num_clusters`` is the number of clusters actually
+    present after empty clusters (possible with duplicate-heavy data) are
+    dropped and labels renumbered, so ``num_clusters <= chosen_k``.
+    """
 
     labels: np.ndarray
     representatives: tuple[int, ...]
@@ -32,8 +38,8 @@ class ClusteringResult:
 
     @property
     def num_clusters(self) -> int:
-        """The selected number of clusters."""
-        return self.chosen_k
+        """Number of (non-empty, compacted) clusters in ``labels``."""
+        return len(self.representatives)
 
     def members_of(self, cluster: int) -> np.ndarray:
         """Region indices belonging to ``cluster``."""
@@ -83,10 +89,12 @@ class SimPointClusterer:
         best = fits[chosen_k]
         labels, centers = self._compact(best.labels, best.centers)
         reps = self._representatives(projected, wts, labels, centers)
+        # ``chosen_k`` stays the *selected* (pre-compaction) k so it keys
+        # ``bic_by_k``; the compacted cluster count is ``num_clusters``.
         return ClusteringResult(
             labels=labels,
             representatives=reps,
-            chosen_k=centers.shape[0],
+            chosen_k=chosen_k,
             bic_by_k=bic_by_k,
             projected=projected,
             weights=wts,

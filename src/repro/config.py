@@ -1,11 +1,13 @@
 """Machine and methodology configuration.
 
-:func:`table1_8core` / :func:`table1_32core` reproduce the paper's Table I
-(one and four sockets of an 8-core, 2.66 GHz, 4-wide part with a 3-level
-cache hierarchy).  :func:`scaled` shrinks cache capacities for use with the
-scaled-down synthetic workloads (see DESIGN.md section 2), preserving the
-capacity *ratios* between levels and between the two machines.
-:func:`simpoint_defaults` reproduces Table II.
+Machine configurations are declared in the data-driven registry
+(:mod:`repro.machines`) and validated into the frozen dataclasses below;
+:func:`table1_8core` / :func:`table1_32core` remain as wrappers for the
+paper's Table I machines (one and four sockets of an 8-core, 2.66 GHz,
+4-wide part with a 3-level cache hierarchy).  :func:`scaled` shrinks cache
+capacities for use with the scaled-down synthetic workloads (see DESIGN.md
+section 2), preserving the capacity *ratios* between levels and between
+machines.  :func:`simpoint_defaults` reproduces Table II.
 """
 
 from __future__ import annotations
@@ -106,10 +108,15 @@ class MachineConfig:
     mem: MemConfig = field(default_factory=MemConfig)
     barrier_hop_cycles: int = 20
     remote_socket_extra_cycles: int = 60
+    #: Memory-hierarchy backend name (see :mod:`repro.mem.backends`); the
+    #: default is the paper's inclusive-L3 hierarchy.
+    hierarchy: str = "inclusive"
 
     def __post_init__(self) -> None:
         if self.num_sockets <= 0 or self.cores_per_socket <= 0:
             raise ConfigError("socket and core counts must be positive")
+        if not self.hierarchy or not isinstance(self.hierarchy, str):
+            raise ConfigError("hierarchy backend name must be a non-empty string")
 
     @property
     def num_cores(self) -> int:
@@ -140,13 +147,25 @@ class MachineConfig:
 
 
 def table1_8core() -> MachineConfig:
-    """The paper's single-socket, 8-core machine (Table I)."""
-    return MachineConfig(name="table1-8core", num_sockets=1, cores_per_socket=8)
+    """The paper's single-socket, 8-core machine (Table I).
+
+    Kept as a convenience wrapper; the configuration itself now lives in
+    the machine registry (:mod:`repro.machines`) under ``table1-8core``.
+    """
+    from repro.machines import get_machine
+
+    return get_machine("table1-8core")
 
 
 def table1_32core() -> MachineConfig:
-    """The paper's four-socket, 32-core machine (Table I)."""
-    return MachineConfig(name="table1-32core", num_sockets=4, cores_per_socket=8)
+    """The paper's four-socket, 32-core machine (Table I).
+
+    Kept as a convenience wrapper; the configuration itself now lives in
+    the machine registry (:mod:`repro.machines`) under ``table1-32core``.
+    """
+    from repro.machines import get_machine
+
+    return get_machine("table1-32core")
 
 
 def scaled(

@@ -5,9 +5,16 @@ made from one run's signatures (say, 8 threads) can be applied to a run on
 a different machine (say, 32 cores) because the barrier structure — and
 hence the region indexing — is thread-count-invariant.  Only the
 multipliers are recomputed from the target run's instruction counts.
+
+:func:`apply_selection_across` is the single-pair primitive;
+:func:`transfer_cell` wraps it into one scored cell of the machines ×
+machines transfer matrix the sweep subsystem (``repro sweep``,
+:mod:`repro.experiments.sweep`) evaluates per workload.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,3 +43,60 @@ def apply_selection_across(
         selection, target_insn, num_threads=target_full.num_threads
     )
     return target_pipeline.evaluate_perfect(transferred, target_full)
+
+
+@dataclass(frozen=True)
+class TransferCell:
+    """One scored (workload, source machine, target machine) transfer.
+
+    ``error_pct`` is the absolute whole-program runtime error of the
+    transferred estimate against the target machine's detailed reference;
+    ``native`` marks the matrix diagonal (selection applied to the machine
+    whose profile produced it).
+    """
+
+    workload: str
+    source_machine: str
+    target_machine: str
+    source_threads: int
+    target_threads: int
+    error_pct: float
+    apki_difference: float
+    num_barrierpoints: int
+
+    @property
+    def native(self) -> bool:
+        """Whether source and target are the same machine."""
+        return self.source_machine == self.target_machine
+
+
+def transfer_cell(
+    selection: BarrierPointSelection,
+    source_machine: str,
+    target_machine: str,
+    target_full: FullRunResult,
+    target_pipeline: BarrierPointPipeline,
+) -> TransferCell:
+    """Score one (source, target) machine pair of the sweep matrix.
+
+    Args:
+        selection: Barrierpoints chosen from the source machine's profile.
+        source_machine: Registry name the selection came from (labeling).
+        target_machine: Registry name of the evaluation machine.
+        target_full: Detailed reference run on the target machine.
+        target_pipeline: Pipeline bound to the target machine.
+
+    Returns:
+        The scored cell.
+    """
+    result = apply_selection_across(selection, target_full, target_pipeline)
+    return TransferCell(
+        workload=target_full.workload_name,
+        source_machine=source_machine,
+        target_machine=target_machine,
+        source_threads=selection.num_threads,
+        target_threads=target_full.num_threads,
+        error_pct=result.runtime_error_pct,
+        apki_difference=result.apki_difference,
+        num_barrierpoints=result.selection.num_barrierpoints,
+    )

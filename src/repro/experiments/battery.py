@@ -18,6 +18,7 @@ import argparse
 import time
 
 from repro.config import simpoint_defaults, table1_8core, table1_32core
+from repro.errors import ConfigError
 from repro.experiments import paper_data
 from repro.experiments import common as _common
 from repro.experiments.common import ExperimentRunner, experiment_machine
@@ -31,8 +32,10 @@ from repro.experiments import (
     fig7_warmup_error,
     fig8_relative_scaling,
     fig9_speedups,
+    sweep,
     table3_barrierpoints,
 )
+from repro.machines import machine_names
 from repro.store import ArtifactStore, code_fingerprint, module_fingerprint
 
 EXPERIMENTS = {
@@ -46,7 +49,14 @@ EXPERIMENTS = {
     "fig9": fig9_speedups,
     "table3": table3_barrierpoints,
     "ablations": ablations,
+    "sweep": sweep,
 }
+
+#: What ``repro run`` / ``repro figures`` regenerate by default: the
+#: paper's evaluation.  The cross-architecture sweep is opt-in (``repro
+#: sweep`` or ``--only sweep``) because its machine matrix goes beyond
+#: the paper's figures.
+DEFAULT_BATTERY = tuple(n for n in EXPERIMENTS if n != "sweep")
 
 #: Expensive pass kinds each experiment consumes (via the runner's
 #: ``profiles``/``full``/``selection``/``evaluate_*`` methods — selection
@@ -64,6 +74,9 @@ EXPERIMENT_NEEDS: dict[str, tuple[str, ...]] = {
     "fig9": ("profiles", "full"),
     "table3": ("profiles",),
     "ablations": ("profiles", "full"),
+    # The sweep fans out its own (workload, machine) passes inside
+    # ``sweep.compute`` — the default-machine prefetch would miss them.
+    "sweep": (),
 }
 
 #: The benchmarks/scale the ``--quick`` smoke configuration runs.
@@ -100,6 +113,11 @@ def add_runner_options(parser: argparse.ArgumentParser) -> None:
         "--no-store", action="store_true",
         help="bypass the artifact store (compute everything in memory)",
     )
+    parser.add_argument(
+        "--machines", type=str, default="",
+        help="comma-separated registry machines for the sweep experiment "
+             "(default: the built-in sweep set; see `repro machines`)",
+    )
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
@@ -117,6 +135,16 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         kwargs["workers"] = args.workers
     if args.no_store:
         kwargs["store"] = None
+    if getattr(args, "machines", ""):
+        selected = tuple(
+            name.strip() for name in args.machines.split(",") if name.strip()
+        )
+        unknown = [m for m in selected if m not in machine_names()]
+        if unknown:
+            raise ConfigError(
+                f"unknown machines {unknown}; known: {list(machine_names())}"
+            )
+        kwargs["sweep_machines"] = selected
     if args.quick:
         return ExperimentRunner(
             scale=QUICK_SCALE, benchmarks=QUICK_BENCHMARKS, **kwargs
@@ -139,7 +167,7 @@ def select_experiments(
     selected = (
         [name.strip() for name in only.split(",") if name.strip()]
         if only
-        else list(EXPERIMENTS)
+        else list(DEFAULT_BATTERY)
     )
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
@@ -153,7 +181,9 @@ def figure_key(runner: ExperimentRunner, name: str) -> str:
     The key covers the runner's result-determining configuration, the
     package code fingerprint, and the source of the figure's module plus
     the shared harness modules — so editing one figure module invalidates
-    only that figure's cached output.
+    only that figure's cached output.  The sweep figure additionally
+    keys on the runner's machine set (the only figure that consults it),
+    so a ``--machines`` change recomputes the sweep and nothing else.
 
     Args:
         runner: The runner the figure would be computed with.
@@ -162,6 +192,9 @@ def figure_key(runner: ExperimentRunner, name: str) -> str:
     Returns:
         A hex key string.
     """
+    extra = {}
+    if name == "sweep":
+        extra["machines"] = list(runner.sweep_machines)
     return ArtifactStore.derive_key(
         figure=name,
         runner=runner.fingerprint(),
@@ -171,6 +204,7 @@ def figure_key(runner: ExperimentRunner, name: str) -> str:
             module_fingerprint(_common),
             module_fingerprint(paper_data),
         ],
+        **extra,
     )
 
 
@@ -188,7 +222,8 @@ def run_experiments(
 
     Args:
         runner: The configured experiment runner.
-        names: Experiments to run, in order (default: the full battery).
+        names: Experiments to run, in order (default: the default
+            battery, i.e. everything except the opt-in sweep).
         on_result: Optional callback ``(name, output, seconds, cached)``
             invoked after each figure.
 
@@ -196,7 +231,7 @@ def run_experiments(
         Mapping of experiment name to rendered output text.
     """
     if names is None:
-        names = list(EXPERIMENTS)
+        names = list(DEFAULT_BATTERY)
     cached: dict[str, str] = {}
     for name in names:
         text = runner._store_get("figure", figure_key(runner, name))

@@ -27,6 +27,7 @@ from repro.config import (
     table1_8core,
     table1_32core,
 )
+from repro.machines import get_machine
 from repro.core.pipeline import BarrierPointPipeline, PipelineResult
 from repro.core.selection import BarrierPointSelection
 from repro.core.signatures import SIGNATURE_VARIANTS, SignatureConfig
@@ -38,6 +39,18 @@ from repro.workloads import WORKLOAD_NAMES, Workload, get_workload
 
 CORE_COUNTS = (8, 32)
 
+#: Default machine set of the cross-architecture sweep (``repro sweep``):
+#: the paper's two Table I machines plus one of each new hierarchy
+#: backend.  The Table I entries share artifact-store keys with the
+#: battery figures, so a sweep after a battery run (or vice versa) reuses
+#: those passes.
+DEFAULT_SWEEP_MACHINES = (
+    "table1-8core",
+    "table1-32core",
+    "table1-8core-noninclusive",
+    "table1-8core-prefetch",
+)
+
 
 def experiment_machine(num_threads: int) -> MachineConfig:
     """The evaluation machine for a core count (scaled Table I config)."""
@@ -48,44 +61,72 @@ def experiment_machine(num_threads: int) -> MachineConfig:
     raise ConfigError(f"evaluation uses 8 or 32 cores, not {num_threads}")
 
 
+def sweep_machine(name: str) -> MachineConfig:
+    """The cache-scaled evaluation variant of a registry machine.
+
+    Applies the same :func:`~repro.config.scaled` transform the battery's
+    evaluation machines use, so ``sweep_machine("table1-8core")`` equals
+    ``experiment_machine(8)`` — and shares its artifact-store keys.
+
+    Args:
+        name: A machine-registry name (see :func:`repro.machines.machine_names`).
+
+    Returns:
+        The scaled machine configuration.
+    """
+    return scaled(get_machine(name))
+
+
+def _resolve_machine(num_threads: int, machine: str | None) -> MachineConfig:
+    """Evaluation machine for a pass: registry name, or the nt default."""
+    if machine is None:
+        return experiment_machine(num_threads)
+    return sweep_machine(machine)
+
+
 def _default_workers() -> int:
     """Worker-count default: ``$REPRO_WORKERS``, else 0 (in-process)."""
     return int(os.environ.get("REPRO_WORKERS", "0"))
 
 
-def _pair_key(scale: float, name: str, num_threads: int) -> str:
-    """Artifact key for one (benchmark, core count) pass at ``scale``.
+def _pair_key(
+    scale: float, name: str, num_threads: int, machine: str | None = None
+) -> str:
+    """Artifact key for one (benchmark, machine) pass at ``scale``.
 
     The key covers the workload identity and scale, the evaluation
-    machine's full configuration, and the package code fingerprint —
-    everything a profile or full run is a deterministic function of.
+    machine's full configuration (which fingerprints its hierarchy
+    backend too), and the package code fingerprint — everything a profile
+    or full run is a deterministic function of.
     """
     return ArtifactStore.derive_key(
         workload=name,
         threads=num_threads,
         scale=scale,
-        machine=experiment_machine(num_threads).fingerprint(),
+        machine=_resolve_machine(num_threads, machine).fingerprint(),
         code=code_fingerprint(),
     )
 
 
-def _compute_pair(task: tuple) -> tuple[str, int, dict]:
-    """Pool worker: compute the expensive passes for one (benchmark, nt).
+def _compute_pair(task: tuple) -> tuple[str, int, str | None, dict]:
+    """Pool worker: compute the expensive passes for one (benchmark, machine).
 
     Args:
         task: ``(name, num_threads, scale, store_root, want_profiles,
-            want_full)``.  ``store_root`` of ``None`` skips persistence.
+            want_full, machine)``.  ``store_root`` of ``None`` skips
+            persistence; ``machine`` of ``None`` selects the default
+            evaluation machine for ``num_threads``.
 
     Returns:
-        ``(name, num_threads, states)`` where ``states`` maps ``"profiles"``
-        to a list of :meth:`RegionProfile.to_state` dicts and/or ``"full"``
-        to a :meth:`FullRunResult.to_state` dict.
+        ``(name, num_threads, machine, states)`` where ``states`` maps
+        ``"profiles"`` to a list of :meth:`RegionProfile.to_state` dicts
+        and/or ``"full"`` to a :meth:`FullRunResult.to_state` dict.
     """
-    name, num_threads, scale, store_root, want_profiles, want_full = task
+    name, num_threads, scale, store_root, want_profiles, want_full, machine = task
     workload = get_workload(name, num_threads, scale)
-    pipe = BarrierPointPipeline(experiment_machine(num_threads))
+    pipe = BarrierPointPipeline(_resolve_machine(num_threads, machine))
     store = ArtifactStore(root=store_root) if store_root is not None else None
-    key = _pair_key(scale, name, num_threads)
+    key = _pair_key(scale, name, num_threads, machine)
     states: dict = {}
     if want_profiles:
         profiles = pipe.profile(workload)
@@ -97,7 +138,7 @@ def _compute_pair(task: tuple) -> tuple[str, int, dict]:
         states["full"] = full.to_state()
         if store is not None:
             store.put("full", key, states["full"])
-    return name, num_threads, states
+    return name, num_threads, machine, states
 
 
 @dataclass
@@ -110,7 +151,8 @@ class ExperimentRunner:
     enables the process-parallel prefetch of profile/full-run passes
     (default from ``$REPRO_WORKERS``; results are identical either way).
     ``store`` persists the expensive artifacts across processes and runs;
-    pass ``None`` to keep everything in memory.
+    pass ``None`` to keep everything in memory.  ``sweep_machines`` names
+    the registry machines the cross-architecture sweep iterates.
     """
 
     scale: float = 1.0
@@ -118,6 +160,7 @@ class ExperimentRunner:
     simpoint: SimPointConfig = field(default_factory=simpoint_defaults)
     workers: int = field(default_factory=_default_workers)
     store: ArtifactStore | None = field(default_factory=ArtifactStore)
+    sweep_machines: tuple[str, ...] = DEFAULT_SWEEP_MACHINES
     _workloads: dict = field(default_factory=dict, repr=False)
     _profiles: dict = field(default_factory=dict, repr=False)
     _fulls: dict = field(default_factory=dict, repr=False)
@@ -133,7 +176,11 @@ class ExperimentRunner:
 
         Covers scale, benchmark suite, and SimPoint parameters — the
         inputs a rendered figure depends on beyond the code itself.
-        ``workers`` and the store are excluded: they never change results.
+        ``workers`` and the store are excluded: they never change
+        results.  ``sweep_machines`` is excluded too — only the sweep
+        figure consults it, and its cache key mixes the machine set in
+        separately (see ``battery.figure_key``) so a ``--machines``
+        change cannot spuriously invalidate the battery figures.
         """
         return ArtifactStore.derive_key(
             scale=self.scale,
@@ -156,14 +203,37 @@ class ExperimentRunner:
     # Parallel prefetch
     # ------------------------------------------------------------------
 
+    def sweep_pairs(
+        self,
+        machines: tuple[str, ...] | None = None,
+        benchmarks: tuple[str, ...] | None = None,
+    ) -> list[tuple[str, int, str]]:
+        """The (benchmark, threads, machine) passes a sweep needs.
+
+        Args:
+            machines: Registry machine names (default ``sweep_machines``).
+            benchmarks: Workload names (default ``benchmarks``).
+
+        Returns:
+            One triple per (benchmark, machine) cell; each machine runs
+            the workload at its own full core count.
+        """
+        machines = self.sweep_machines if machines is None else machines
+        benchmarks = self.benchmarks if benchmarks is None else benchmarks
+        return [
+            (b, get_machine(m).num_cores, m)
+            for b in benchmarks
+            for m in machines
+        ]
+
     def prefetch(
         self,
-        pairs: list[tuple[str, int]] | None = None,
+        pairs: list[tuple] | None = None,
         kinds: tuple[str, ...] = ("profiles", "full"),
     ) -> int:
         """Fan the missing profile/full-run passes out across processes.
 
-        Every (benchmark, core count) pass not already memoized or in the
+        Every (benchmark, machine) pass not already memoized or in the
         store is computed in a :class:`~concurrent.futures.ProcessPoolExecutor`
         with ``self.workers`` workers; results land in the in-memory memo
         and (when a store is configured) on disk, where other processes
@@ -171,8 +241,10 @@ class ExperimentRunner:
         identical to computing serially.
 
         Args:
-            pairs: ``(benchmark, num_threads)`` pairs to cover; defaults
-                to ``benchmarks`` × ``CORE_COUNTS``.
+            pairs: ``(benchmark, num_threads)`` pairs — or ``(benchmark,
+                num_threads, machine_name)`` triples for sweep passes on
+                registry machines — to cover; defaults to ``benchmarks``
+                × ``CORE_COUNTS`` on the default evaluation machines.
             kinds: Which pass kinds to cover, from ``("profiles",
                 "full")``; callers that know they only need one kind
                 (e.g. selection-only figures) restrict the fan-out.
@@ -183,13 +255,16 @@ class ExperimentRunner:
         """
         if pairs is None:
             pairs = [(b, nt) for b in self.benchmarks for nt in CORE_COUNTS]
+        normalized = [
+            pair if len(pair) == 3 else (*pair, None) for pair in pairs
+        ]
         tasks = []
         store_root = None
         if self.store is not None and self.store.enabled:
             store_root = str(self.store.root)
-        for name, num_threads in pairs:
-            memo_key = (name, num_threads)
-            akey = _pair_key(self.scale, name, num_threads)
+        for name, num_threads, machine in normalized:
+            memo_key = (name, num_threads, machine)
+            akey = _pair_key(self.scale, name, num_threads, machine)
             want_profiles = "profiles" in kinds and (
                 memo_key not in self._profiles
                 and not (
@@ -206,14 +281,30 @@ class ExperimentRunner:
             if want_profiles or want_full:
                 tasks.append(
                     (name, num_threads, self.scale, store_root,
-                     want_profiles, want_full)
+                     want_profiles, want_full, machine)
                 )
         if not tasks or self.workers <= 1:
             return 0
+        from repro.machines import MACHINE_SPECS
+
+        runtime_only = sorted({
+            task[6] for task in tasks
+            if task[6] is not None and task[6] not in MACHINE_SPECS
+        })
+        if runtime_only:
+            # Runtime registrations are per-process; pool workers would
+            # fail with a misleading "unknown machine".  Fail fast here.
+            raise ConfigError(
+                f"machines {runtime_only} are runtime-registered and not "
+                f"visible to worker processes; run with workers <= 1 or "
+                f"add them to repro.machines.specs.MACHINE_SPECS"
+            )
         computed = 0
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for name, num_threads, states in pool.map(_compute_pair, tasks):
-                memo_key = (name, num_threads)
+            for name, num_threads, machine, states in pool.map(
+                _compute_pair, tasks
+            ):
+                memo_key = (name, num_threads, machine)
                 if "profiles" in states:
                     self._profiles[memo_key] = [
                         RegionProfile.from_state(s) for s in states["profiles"]
@@ -240,26 +331,41 @@ class ExperimentRunner:
     def pipeline(
         self, num_threads: int, signature: SignatureConfig | None = None,
         simpoint: SimPointConfig | None = None,
+        machine: str | None = None,
     ) -> BarrierPointPipeline:
-        """A pipeline bound to the evaluation machine for ``num_threads``."""
+        """A pipeline bound to an evaluation machine.
+
+        Args:
+            num_threads: Core count selecting the default evaluation
+                machine (ignored when ``machine`` is given).
+            signature: Signature variant override.
+            simpoint: SimPoint parameter override.
+            machine: Registry machine name (sweep passes); ``None`` keeps
+                the default Table I machine for ``num_threads``.
+
+        Returns:
+            The configured pipeline.
+        """
         return BarrierPointPipeline(
-            experiment_machine(num_threads),
+            _resolve_machine(num_threads, machine),
             signature=signature,
             simpoint=simpoint or self.simpoint,
         )
 
-    def profiles(self, name: str, num_threads: int) -> list[RegionProfile]:
+    def profiles(
+        self, name: str, num_threads: int, machine: str | None = None
+    ) -> list[RegionProfile]:
         """Functional profiles (one expensive pass; memo + store cached)."""
-        key = (name, num_threads)
+        key = (name, num_threads, machine)
         if key not in self._profiles:
-            akey = _pair_key(self.scale, name, num_threads)
+            akey = _pair_key(self.scale, name, num_threads, machine)
             states = self._store_get("profiles", akey)
             if states is not None:
                 self._profiles[key] = [
                     RegionProfile.from_state(s) for s in states
                 ]
             else:
-                pipe = self.pipeline(num_threads)
+                pipe = self.pipeline(num_threads, machine=machine)
                 computed = pipe.profile(self.workload(name, num_threads))
                 self._store_put(
                     "profiles", akey, [p.to_state() for p in computed]
@@ -267,16 +373,18 @@ class ExperimentRunner:
                 self._profiles[key] = computed
         return self._profiles[key]
 
-    def full(self, name: str, num_threads: int) -> FullRunResult:
+    def full(
+        self, name: str, num_threads: int, machine: str | None = None
+    ) -> FullRunResult:
         """Full detailed reference run (one expensive pass; memo + store)."""
-        key = (name, num_threads)
+        key = (name, num_threads, machine)
         if key not in self._fulls:
-            akey = _pair_key(self.scale, name, num_threads)
+            akey = _pair_key(self.scale, name, num_threads, machine)
             state = self._store_get("full", akey)
             if state is not None:
                 self._fulls[key] = FullRunResult.from_state(state)
             else:
-                pipe = self.pipeline(num_threads)
+                pipe = self.pipeline(num_threads, machine=machine)
                 computed = pipe.full_run(self.workload(name, num_threads))
                 self._store_put("full", akey, computed.to_state())
                 self._fulls[key] = computed
@@ -288,9 +396,10 @@ class ExperimentRunner:
         num_threads: int,
         variant: str = "combine",
         max_k: int | None = None,
+        machine: str | None = None,
     ) -> BarrierPointSelection:
         """Barrierpoint selection for a signature variant (cached)."""
-        key = (name, num_threads, variant, max_k)
+        key = (name, num_threads, variant, max_k, machine)
         if key not in self._selections:
             signature = SIGNATURE_VARIANTS[variant]
             simpoint = self.simpoint
@@ -298,10 +407,10 @@ class ExperimentRunner:
                 from dataclasses import replace
 
                 simpoint = replace(simpoint, max_k=max_k)
-            pipe = self.pipeline(num_threads, signature, simpoint)
+            pipe = self.pipeline(num_threads, signature, simpoint, machine)
             self._selections[key] = pipe.select(
                 self.workload(name, num_threads),
-                self.profiles(name, num_threads),
+                self.profiles(name, num_threads, machine),
             )
         return self._selections[key]
 

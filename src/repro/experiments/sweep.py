@@ -1,0 +1,135 @@
+"""Cross-architecture sweep: machines × workloads transfer-error matrix.
+
+The generalization of Fig. 6 (section VI-A3) along the machine axis: for
+every workload, barrierpoints selected from each registry machine's
+profile run are applied to every other machine's detailed reference —
+core-count, cache-geometry, DRAM-tier, *and* hierarchy-backend variants —
+and scored by absolute runtime error.  Low, uniform off-diagonal errors
+are the paper's microarchitecture-independence claim, exercised across
+far more than the original single (8-core, 32-core) pair.
+
+The expensive per-(workload, machine) passes go through the runner's
+store-backed, process-parallel path, so a warm rerun is pure store hits
+and a sweep after a battery run reuses the Table I machine passes.
+Driven by ``repro sweep`` (or ``repro run --only sweep``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.crossarch import TransferCell, transfer_cell
+from repro.experiments.common import ExperimentRunner, sweep_machine
+from repro.machines import get_machine
+from repro.util.tables import format_table
+
+
+def compute(
+    runner: ExperimentRunner,
+    machines: tuple[str, ...] | None = None,
+    workloads: tuple[str, ...] | None = None,
+) -> list[TransferCell]:
+    """Score every (workload, source machine, target machine) cell.
+
+    Args:
+        runner: The configured experiment runner (supplies scale, store,
+            workers, and the default machine/workload sets).
+        machines: Registry machine names (default ``runner.sweep_machines``).
+        workloads: Workload names (default ``runner.benchmarks``).
+
+    Returns:
+        Cells in (workload, source, target) iteration order.
+    """
+    machines = runner.sweep_machines if machines is None else machines
+    workloads = runner.benchmarks if workloads is None else workloads
+    threads = {m: get_machine(m).num_cores for m in machines}
+    if runner.workers > 1:
+        runner.prefetch(runner.sweep_pairs(machines, workloads))
+    cells: list[TransferCell] = []
+    for name in workloads:
+        selections = {
+            m: runner.selection(name, threads[m], machine=m) for m in machines
+        }
+        for target in machines:
+            full = runner.full(name, threads[target], machine=target)
+            pipe = runner.pipeline(threads[target], machine=target)
+            for source in machines:
+                cells.append(
+                    transfer_cell(
+                        selections[source], source, target, full, pipe
+                    )
+                )
+    return cells
+
+
+def _machine_label(name: str) -> str:
+    """Column label for a machine (the common ``table1-`` prefix drops)."""
+    return name.removeprefix("table1-")
+
+
+def render(cells: list[TransferCell], machines: tuple[str, ...]) -> str:
+    """Render the sweep as per-workload matrices plus a summary.
+
+    Args:
+        cells: Output of :func:`compute`.
+        machines: Machine names in sweep order (matrix axis order).
+
+    Returns:
+        The figure text.
+    """
+    by_key = {
+        (c.workload, c.source_machine, c.target_machine): c for c in cells
+    }
+    workloads = sorted({c.workload for c in cells})
+    blocks = ["Sweep — cross-architecture transfer: abs runtime % error"]
+    blocks.append("machines: " + ", ".join(
+        f"{m} ({get_machine(m).num_cores}c, "
+        f"{get_machine(m).hierarchy})" for m in machines
+    ))
+    headers = ["source \\ target", *(_machine_label(m) for m in machines)]
+    for name in workloads:
+        rows = [
+            [
+                _machine_label(source),
+                *(
+                    f"{by_key[(name, source, target)].error_pct:.2f}"
+                    for target in machines
+                ),
+            ]
+            for source in machines
+        ]
+        blocks.append(format_table(headers, rows, title=name))
+    avg_rows = [
+        [
+            _machine_label(source),
+            *(
+                "{:.2f}".format(np.mean([
+                    by_key[(w, source, target)].error_pct for w in workloads
+                ]))
+                for target in machines
+            ),
+        ]
+        for source in machines
+    ]
+    blocks.append(
+        format_table(headers, avg_rows, title="average over workloads")
+    )
+    native = [c.error_pct for c in cells if c.native]
+    crossed = [c.error_pct for c in cells if not c.native]
+    summary = [
+        f"matrix: {len(machines)} machines x {len(workloads)} workloads "
+        f"({len(cells)} cells)",
+        f"avg error, native selections: {np.mean(native):.2f}%",
+    ]
+    if crossed:
+        summary.append(
+            f"avg error, transferred selections: {np.mean(crossed):.2f}%"
+        )
+    return "\n\n".join(blocks) + "\n" + "\n".join(summary)
+
+
+def run(runner: ExperimentRunner) -> str:
+    """Compute and render with the runner's machine/workload defaults."""
+    for name in runner.sweep_machines:
+        sweep_machine(name)  # fail fast on unknown names
+    return render(compute(runner), runner.sweep_machines)

@@ -1,0 +1,29 @@
+"""Named, data-driven machine registry (the cross-architecture axis).
+
+Machines are declared as plain dict specs (:mod:`repro.machines.specs`),
+validated into frozen :class:`~repro.config.MachineConfig` objects
+(:mod:`repro.machines.registry`), fingerprinted for the artifact store,
+and listable from the CLI (``repro machines``).  The sweep subsystem
+(``repro sweep``) iterates these names.
+"""
+
+from repro.machines.registry import (
+    build_machine,
+    get_machine,
+    machine_names,
+    machine_summary,
+    register_machine,
+    unregister_machine,
+)
+from repro.machines.specs import DRAM_TIERS, MACHINE_SPECS
+
+__all__ = [
+    "DRAM_TIERS",
+    "MACHINE_SPECS",
+    "build_machine",
+    "get_machine",
+    "machine_names",
+    "machine_summary",
+    "register_machine",
+    "unregister_machine",
+]

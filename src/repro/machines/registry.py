@@ -1,0 +1,316 @@
+"""The named, data-driven machine registry.
+
+A *machine spec* is a plain dict (the built-ins live in
+:mod:`repro.machines.specs`; callers may add their own with
+:func:`register_machine`)::
+
+    {
+        "description": "...",            # optional, shown by `repro machines`
+        "base": "table1-8core",          # optional: deep-merge onto another spec
+        "sockets": 1,
+        "cores_per_socket": 8,
+        "core": {"frequency_ghz": 2.66, "dispatch_width": 4, ...},
+        "caches": {
+            "l1i": {"kb": 32, "ways": 4, "latency": 4},
+            "l1d": {"kb": 32, "ways": 8, "latency": 4},
+            "l2":  {"kb": 256, "ways": 8, "latency": 8},
+            "l3":  {"kb": 8192, "ways": 16, "latency": 30},
+        },
+        "dram": {"latency_ns": 65.0, "tier": "ddr3-1066"},   # or bandwidth_gbps
+        "hierarchy": "inclusive",        # a repro.mem.backends name
+    }
+
+:func:`build_machine` validates a spec — unknown keys, missing levels, bad
+tiers, and unknown hierarchy backends are all :class:`ConfigError`s, not
+silent defaults — and returns a frozen
+:class:`~repro.config.MachineConfig`, which carries its own
+:meth:`~repro.config.MachineConfig.fingerprint` for artifact-store keying.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.config import CacheConfig, CoreConfig, MachineConfig, MemConfig
+from repro.errors import ConfigError
+from repro.machines.specs import DRAM_TIERS, MACHINE_SPECS
+
+_TOP_KEYS = frozenset({
+    "description", "base", "sockets", "cores_per_socket", "core", "caches",
+    "dram", "hierarchy", "barrier_hop_cycles", "remote_socket_extra_cycles",
+})
+_CORE_KEYS = frozenset({
+    "frequency_ghz", "dispatch_width", "rob_entries", "branch_miss_penalty",
+    "max_outstanding_misses",
+})
+_CACHE_LEVELS = ("l1i", "l1d", "l2", "l3")
+_CACHE_KEYS = frozenset({"kb", "ways", "latency", "line_bytes"})
+_DRAM_KEYS = frozenset({"latency_ns", "tier", "bandwidth_gbps"})
+
+#: Runtime-registered specs, layered over the built-ins.
+_RUNTIME_SPECS: dict[str, dict] = {}
+
+#: Validated-config cache (specs are immutable once registered).
+_CONFIG_CACHE: dict[str, MachineConfig] = {}
+
+
+def _check_keys(name: str, section: str, spec: dict, allowed: frozenset) -> None:
+    """Reject unknown keys so typos fail loudly instead of being ignored."""
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"machine {name!r}: unknown {section} key(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+#: Sections that replace wholesale instead of deep-merging: ``dram``
+#: holds mutually-exclusive keys (``tier`` vs ``bandwidth_gbps``), so
+#: merging an override into an inherited tier would make every
+#: bandwidth override ambiguous.
+_REPLACE_SECTIONS = frozenset({"dram"})
+
+
+def _merge(base: dict, override: dict, top: bool = True) -> dict:
+    """Deep-merge ``override`` onto ``base`` (dicts recurse, scalars replace)."""
+    merged = dict(base)
+    for key, value in override.items():
+        replace = top and key in _REPLACE_SECTIONS
+        if (
+            not replace
+            and isinstance(value, dict)
+            and isinstance(merged.get(key), dict)
+        ):
+            merged[key] = _merge(merged[key], value, top=False)
+        else:
+            merged[key] = value
+    return merged
+
+
+def _specs() -> dict[str, dict]:
+    """All known specs: built-ins plus runtime registrations."""
+    return {**MACHINE_SPECS, **_RUNTIME_SPECS}
+
+
+def _resolve_base(name: str, spec: dict, seen: tuple[str, ...] = ()) -> dict:
+    """Flatten a spec's ``base`` chain into one merged dict."""
+    if "base" not in spec:
+        return dict(spec)
+    base_name = spec["base"]
+    if base_name in seen:
+        raise ConfigError(
+            f"machine {name!r}: circular base chain {seen + (base_name,)}"
+        )
+    specs = _specs()
+    if base_name not in specs:
+        raise ConfigError(
+            f"machine {name!r}: unknown base {base_name!r}; "
+            f"known machines: {sorted(specs)}"
+        )
+    base = _resolve_base(base_name, specs[base_name], seen + (base_name,))
+    merged = _merge(base, {k: v for k, v in spec.items() if k != "base"})
+    return merged
+
+
+def _build_cache(name: str, level: str, spec: object) -> CacheConfig:
+    """Validate one cache-level sub-spec into a :class:`CacheConfig`."""
+    if not isinstance(spec, dict):
+        raise ConfigError(f"machine {name!r}: {level} spec must be a dict")
+    _check_keys(name, level, spec, _CACHE_KEYS)
+    for key in ("kb", "ways", "latency"):
+        if key not in spec:
+            raise ConfigError(f"machine {name!r}: {level} spec missing {key!r}")
+    return CacheConfig(
+        size_bytes=int(spec["kb"] * 1024),
+        associativity=int(spec["ways"]),
+        latency_cycles=int(spec["latency"]),
+        **({"line_bytes": int(spec["line_bytes"])} if "line_bytes" in spec else {}),
+    )
+
+
+def _build_dram(name: str, spec: object) -> MemConfig:
+    """Validate the ``dram`` section (latency plus a tier or explicit GB/s)."""
+    if not isinstance(spec, dict):
+        raise ConfigError(f"machine {name!r}: dram spec must be a dict")
+    _check_keys(name, "dram", spec, _DRAM_KEYS)
+    if ("tier" in spec) == ("bandwidth_gbps" in spec):
+        raise ConfigError(
+            f"machine {name!r}: dram spec needs exactly one of 'tier' "
+            f"or 'bandwidth_gbps'"
+        )
+    if "tier" in spec:
+        tier = spec["tier"]
+        if tier not in DRAM_TIERS:
+            raise ConfigError(
+                f"machine {name!r}: unknown DRAM tier {tier!r}; "
+                f"known tiers: {sorted(DRAM_TIERS)}"
+            )
+        bandwidth = DRAM_TIERS[tier]
+    else:
+        bandwidth = float(spec["bandwidth_gbps"])
+    return MemConfig(
+        latency_ns=float(spec.get("latency_ns", 65.0)),
+        bandwidth_gbps_per_socket=bandwidth,
+    )
+
+
+def build_machine(name: str, spec: dict) -> MachineConfig:
+    """Validate one spec dict into a :class:`MachineConfig`.
+
+    Args:
+        name: The machine's registry name (becomes ``MachineConfig.name``).
+        spec: A spec dict as documented in the module docstring.  A
+            ``base`` key is resolved against the registry first.
+
+    Returns:
+        The frozen, validated machine configuration.
+
+    Raises:
+        ConfigError: On unknown keys, missing sections, bad tiers, or an
+            unknown hierarchy backend.
+    """
+    if not isinstance(spec, dict):
+        raise ConfigError(f"machine {name!r}: spec must be a dict")
+    _check_keys(name, "machine", spec, _TOP_KEYS)
+    merged = _resolve_base(name, spec)
+    for key in ("sockets", "cores_per_socket", "caches", "dram"):
+        if key not in merged:
+            raise ConfigError(f"machine {name!r}: spec missing {key!r}")
+    core_spec = merged.get("core", {})
+    if not isinstance(core_spec, dict):
+        raise ConfigError(f"machine {name!r}: core spec must be a dict")
+    _check_keys(name, "core", core_spec, _CORE_KEYS)
+    caches = merged["caches"]
+    if not isinstance(caches, dict):
+        raise ConfigError(f"machine {name!r}: caches spec must be a dict")
+    _check_keys(name, "caches", caches, frozenset(_CACHE_LEVELS))
+    for level in _CACHE_LEVELS:
+        if level not in caches:
+            raise ConfigError(f"machine {name!r}: caches spec missing {level!r}")
+    hierarchy = merged.get("hierarchy", "inclusive")
+    from repro.mem.backends import HIERARCHY_BACKENDS
+
+    if hierarchy not in HIERARCHY_BACKENDS:
+        raise ConfigError(
+            f"machine {name!r}: unknown hierarchy backend {hierarchy!r}; "
+            f"known backends: {sorted(HIERARCHY_BACKENDS)}"
+        )
+    extra = {}
+    for key in ("barrier_hop_cycles", "remote_socket_extra_cycles"):
+        if key in merged:
+            extra[key] = int(merged[key])
+    return MachineConfig(
+        name=name,
+        num_sockets=int(merged["sockets"]),
+        cores_per_socket=int(merged["cores_per_socket"]),
+        core=CoreConfig(**core_spec),
+        l1i=_build_cache(name, "l1i", caches["l1i"]),
+        l1d=_build_cache(name, "l1d", caches["l1d"]),
+        l2=_build_cache(name, "l2", caches["l2"]),
+        l3=_build_cache(name, "l3", caches["l3"]),
+        mem=_build_dram(name, merged["dram"]),
+        hierarchy=hierarchy,
+        **extra,
+    )
+
+
+def register_machine(name: str, spec: dict) -> MachineConfig:
+    """Add a machine spec to the registry at runtime.
+
+    The spec is validated eagerly, so a bad registration fails at the
+    registration site, not at first use.  Runtime registrations are
+    per-process: the parallel experiment runner's worker processes only
+    see the built-in specs, so sweeps over custom machines should run
+    with ``workers <= 1`` (or the spec should be added to
+    :data:`~repro.machines.specs.MACHINE_SPECS` in source).
+
+    Args:
+        name: New, unique machine name.
+        spec: Spec dict (may ``base`` onto any registered machine).
+
+    Returns:
+        The validated configuration.
+
+    Raises:
+        ConfigError: If the name is already registered or the spec is bad.
+    """
+    if name in _specs():
+        raise ConfigError(f"machine {name!r} is already registered")
+    config = build_machine(name, spec)
+    _RUNTIME_SPECS[name] = copy.deepcopy(spec)
+    _CONFIG_CACHE[name] = config
+    return config
+
+
+def unregister_machine(name: str) -> None:
+    """Remove a runtime-registered machine (built-ins cannot be removed).
+
+    Raises:
+        ConfigError: If the machine is built in, or another registered
+            spec still inherits from it (removing it would leave the
+            registry unresolvable).
+    """
+    if name in MACHINE_SPECS:
+        raise ConfigError(f"machine {name!r} is built in and cannot be removed")
+    dependents = sorted(
+        dep for dep, spec in _RUNTIME_SPECS.items()
+        if dep != name and spec.get("base") == name
+    )
+    if dependents:
+        raise ConfigError(
+            f"machine {name!r} is the base of {dependents}; "
+            f"unregister those first"
+        )
+    _RUNTIME_SPECS.pop(name, None)
+    _CONFIG_CACHE.pop(name, None)
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Look a machine up by registry name.
+
+    Args:
+        name: A name from :func:`machine_names`.
+
+    Returns:
+        The validated (cached) configuration.
+
+    Raises:
+        ConfigError: For names not in the registry.
+    """
+    if name not in _CONFIG_CACHE:
+        specs = _specs()
+        if name not in specs:
+            raise ConfigError(
+                f"unknown machine {name!r}; known machines: {sorted(specs)}"
+            )
+        _CONFIG_CACHE[name] = build_machine(name, specs[name])
+    return _CONFIG_CACHE[name]
+
+
+def machine_names() -> tuple[str, ...]:
+    """All registered machine names, sorted."""
+    return tuple(sorted(_specs()))
+
+
+def machine_summary() -> list[dict]:
+    """One summary row per registered machine (drives ``repro machines``).
+
+    Returns:
+        Dicts with ``name``, ``cores``, ``sockets``, ``l3``, ``dram``,
+        ``hierarchy``, ``fingerprint`` and ``description`` keys.
+    """
+    rows = []
+    for name in machine_names():
+        cfg = get_machine(name)
+        spec = _resolve_base(name, _specs()[name])
+        rows.append({
+            "name": name,
+            "cores": cfg.num_cores,
+            "sockets": cfg.num_sockets,
+            "l3": f"{cfg.l3.size_bytes // (1024 * 1024)}MB/{cfg.l3.associativity}w",
+            "dram": f"{cfg.mem.bandwidth_gbps_per_socket:g}GB/s",
+            "hierarchy": cfg.hierarchy,
+            "fingerprint": cfg.fingerprint(),
+            "description": spec.get("description", ""),
+        })
+    return rows

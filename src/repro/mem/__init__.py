@@ -1,15 +1,32 @@
-"""Memory-system substrate: caches, MSI directory, DRAM, full hierarchy."""
+"""Memory-system substrate: caches, MSI directory, DRAM, full hierarchy.
 
+Besides the reference inclusive hierarchy, :mod:`repro.mem.backends`
+registers pluggable variants (non-inclusive L3, next-line prefetching)
+selectable by name through ``MachineConfig.hierarchy``.
+"""
+
+from repro.mem.backends import (
+    HIERARCHY_BACKENDS,
+    backend_names,
+    hierarchy_backend,
+)
 from repro.mem.cache import CacheStats, SetAssocCache
 from repro.mem.directory import Directory
 from repro.mem.dram import Dram
 from repro.mem.hierarchy import AccessCounters, MemoryHierarchy
+from repro.mem.noninclusive import NonInclusiveHierarchy
+from repro.mem.prefetch import NextLinePrefetchHierarchy
 
 __all__ = [
     "AccessCounters",
     "CacheStats",
     "Directory",
     "Dram",
+    "HIERARCHY_BACKENDS",
     "MemoryHierarchy",
+    "NextLinePrefetchHierarchy",
+    "NonInclusiveHierarchy",
     "SetAssocCache",
+    "backend_names",
+    "hierarchy_backend",
 ]

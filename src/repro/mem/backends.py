@@ -1,0 +1,54 @@
+"""Named memory-hierarchy backends behind ``Machine``'s factory seam.
+
+:class:`~repro.sim.machine.Machine` resolves
+``MachineConfig.hierarchy`` through this registry when no explicit
+``hierarchy_factory`` is given, so machine specs
+(:mod:`repro.machines`) select a backend by name and the choice flows
+through pipelines, the experiment runner, the artifact-store fingerprint,
+and the cross-architecture sweep without any call-site changes.
+
+Every backend must be constructible as ``backend(machine_config)`` and
+behave identically to the reference hierarchy when its distinguishing
+feature is disabled (asserted by ``tests/test_mem_backends.py``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.noninclusive import NonInclusiveHierarchy
+from repro.mem.prefetch import NextLinePrefetchHierarchy
+
+#: Backend name -> hierarchy class.  ``"inclusive"`` is the paper's
+#: reference hierarchy and the default of ``MachineConfig.hierarchy``.
+HIERARCHY_BACKENDS: dict[str, type[MemoryHierarchy]] = {
+    "inclusive": MemoryHierarchy,
+    "noninclusive": NonInclusiveHierarchy,
+    "prefetch-nl": NextLinePrefetchHierarchy,
+}
+
+
+def hierarchy_backend(name: str) -> type[MemoryHierarchy]:
+    """Resolve a backend name to its hierarchy class.
+
+    Args:
+        name: A key of :data:`HIERARCHY_BACKENDS`.
+
+    Returns:
+        The hierarchy class (a ``MemoryHierarchy`` subclass).
+
+    Raises:
+        ConfigError: For unknown names.
+    """
+    try:
+        return HIERARCHY_BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown hierarchy backend {name!r}; "
+            f"known backends: {sorted(HIERARCHY_BACKENDS)}"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, sorted."""
+    return tuple(sorted(HIERARCHY_BACKENDS))

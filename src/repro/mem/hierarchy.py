@@ -39,7 +39,7 @@ class AccessCounters:
 
     __slots__ = (
         "loads", "stores", "l1d_misses", "l2_misses", "l3_misses",
-        "cache_to_cache", "writebacks", "l1i_misses",
+        "cache_to_cache", "writebacks", "l1i_misses", "prefetches",
         "dram_reads_per_socket", "dram_writebacks_per_socket",
     )
 
@@ -53,6 +53,7 @@ class AccessCounters:
         cache_to_cache: int = 0,
         writebacks: int = 0,
         l1i_misses: int = 0,
+        prefetches: int = 0,
         dram_reads_per_socket: tuple[int, ...] = (),
         dram_writebacks_per_socket: tuple[int, ...] = (),
     ) -> None:
@@ -64,6 +65,7 @@ class AccessCounters:
         self.cache_to_cache = cache_to_cache
         self.writebacks = writebacks
         self.l1i_misses = l1i_misses
+        self.prefetches = prefetches
         self.dram_reads_per_socket = dram_reads_per_socket
         self.dram_writebacks_per_socket = dram_writebacks_per_socket
 
@@ -114,6 +116,7 @@ class AccessCounters:
             cache_to_cache=self.cache_to_cache - earlier.cache_to_cache,
             writebacks=self.writebacks - earlier.writebacks,
             l1i_misses=self.l1i_misses - earlier.l1i_misses,
+            prefetches=self.prefetches - earlier.prefetches,
             dram_reads_per_socket=tuple(
                 a - b for a, b in zip(
                     self.dram_reads_per_socket, earlier.dram_reads_per_socket)
@@ -127,11 +130,27 @@ class AccessCounters:
 
 
 class MemoryHierarchy:
-    """Caches + directory + DRAM for one simulated machine."""
+    """Caches + directory + DRAM for one simulated machine.
+
+    Backend variants (see :mod:`repro.mem.backends`) subclass this and
+    flip the two feature seams below; with both at their defaults every
+    subclass is behaviorally identical to this reference hierarchy, which
+    is what the backend parity tests assert.
+    """
 
     #: Cache model class; the reference (seed) implementation swaps in the
     #: list-based variant for parity tests and perf baselines.
     cache_cls = SetAssocCache
+
+    #: Whether an L3 eviction back-invalidates the socket's private caches
+    #: (the paper's inclusive hierarchy).  ``False`` = non-inclusive: the
+    #: victim drops from the L3 only and the directory keeps its entry.
+    inclusive_l3 = True
+
+    #: Next-line prefetch depth triggered by demand L2 misses; 0 disables
+    #: the hook entirely (subclasses that set it > 0 must implement
+    #: ``_prefetch_after_miss``).
+    prefetch_degree = 0
 
     def __init__(self, machine: MachineConfig) -> None:
         self.machine = machine
@@ -161,6 +180,7 @@ class MemoryHierarchy:
         self._c2c = 0
         self._writebacks = 0
         self._l1i_misses = 0
+        self._prefetches = 0
         # Per-core hot-path context: everything ``access_block`` needs,
         # bound once (caches are flushed in place, never replaced, so the
         # bindings stay valid for the hierarchy's lifetime).
@@ -212,6 +232,7 @@ class MemoryHierarchy:
             cache_to_cache=self._c2c,
             writebacks=self._writebacks,
             l1i_misses=self._l1i_misses,
+            prefetches=self._prefetches,
             dram_reads_per_socket=tuple(self.dram.stats.reads_per_socket),
             dram_writebacks_per_socket=tuple(self.dram.stats.writebacks_per_socket),
         )
@@ -219,6 +240,53 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
+
+    def _evict_l3_victim(self, socket: int, s3: dict) -> None:
+        """Evict the LRU victim of one L3 set (off-hot-path form).
+
+        The shared, readable counterpart of the victim handling that
+        ``access_block`` keeps inlined for speed (see the "keep in sync"
+        note there): dirty-set bookkeeping, then — on the inclusive
+        backend — the local-owner writeback and the inclusion purge of
+        the socket's private caches.  Non-demand fill paths (the
+        prefetching backend today) must call this instead of growing
+        further hand copies.  L3-level dirtiness is tracked at the
+        directory owner in this hierarchy (the cache ``_dirty`` side-set
+        stays empty on the fast paths), so a non-inclusive victim drops
+        with no DRAM charge here — its writeback is charged later, at
+        downgrade.
+
+        Args:
+            socket: The socket owning the L3.
+            s3: The set dict (``l3._sets[index]``) about to be filled.
+        """
+        l3 = self.l3[socket]
+        vline = next(iter(s3))
+        del s3[vline]
+        l3.stats.evictions += 1
+        if vline in l3._dirty:  # defensive: empty on the fast paths
+            l3._dirty.discard(vline)
+            l3.stats.dirty_evictions += 1
+        if not self.inclusive_l3:
+            return
+        owner = self.directory._owner
+        sharers = self.directory._sharers
+        vowner = owner.get(vline, -1)
+        if vowner >= 0 and self._socket_of[vowner] == socket:
+            self._dram_wbs[socket] += 1
+            self._writebacks += 1
+            del owner[vline]
+        vmask = sharers.get(vline, 0)
+        if vmask:
+            socket_mask = self._socket_mask[socket]
+            local = vmask & socket_mask
+            if local:
+                self._invalidate_remote(vline, local, socket)
+            rest = vmask & ~socket_mask
+            if rest:
+                sharers[vline] = rest
+            else:
+                del sharers[vline]
 
     def _invalidate_remote(self, line: int, mask: int, my_socket: int) -> bool:
         """Remove ``line`` from all cores in ``mask``; True if any was remote."""
@@ -281,6 +349,8 @@ class MemoryHierarchy:
         purge = self._purge
         l3_caches = self.l3
         miss = _MISS
+        inclusive = self.inclusive_l3
+        pf_degree = self.prefetch_degree
 
         loads = stores = l1d_misses = l2_misses = c2c = writebacks = 0
         l1_hits = l1_missc = l1_evic = 0
@@ -371,7 +441,12 @@ class MemoryHierarchy:
                     else:
                         extra += dram_lat
                         dram_reads[socket] += 1
-                    # Fill L3 (inlined), handling inclusive eviction.
+                    # Fill L3 (inlined), handling the victim per backend.
+                    # Non-inclusive backends drop the victim from the L3
+                    # alone: private copies and directory state survive,
+                    # and — since dirtiness is tracked at the directory
+                    # owner, not in the L3 ``_dirty`` side-set — no DRAM
+                    # writeback is due here (it is charged at downgrade).
                     if len(s3) >= l3_assoc:
                         vline = next(iter(s3))
                         del s3[vline]
@@ -379,40 +454,43 @@ class MemoryHierarchy:
                             l3_dirty.discard(vline)
                             l3_dirty_evic += 1
                         l3_evic += 1
-                        vowner = owner_get(vline, -1)
-                        if vowner >= 0 and socket_of[vowner] == socket:
-                            dram_wbs[socket] += 1
-                            writebacks += 1
-                            del dir_owner[vline]
-                        # Inclusion: purge the victim from this socket's
-                        # private caches.  The directory sharer mask tells
-                        # us which cores can possibly hold it, so streaming
-                        # victims (one sharer) cost one probe, not 2*cores.
-                        # NOTE: this bit-scan purge is a deliberate inline
-                        # copy of _invalidate_remote's body (minus the
-                        # remote-socket test) — keep the two in sync.
-                        vmask = sharers_get(vline, 0)
-                        if vmask:
-                            local = vmask & socket_mask
-                            while local:
-                                low = local & -local
-                                local ^= low
-                                (p1_sets, p1_mask, p1_stats, p1_dirty,
-                                 p2_sets, p2_mask, p2_stats,
-                                 p2_dirty) = purge[low.bit_length() - 1]
-                                ps = p1_sets[vline & p1_mask]
-                                if ps.pop(vline, miss) is not miss:
-                                    p1_dirty.discard(vline)
-                                    p1_stats.invalidations += 1
-                                ps = p2_sets[vline & p2_mask]
-                                if ps.pop(vline, miss) is not miss:
-                                    p2_dirty.discard(vline)
-                                    p2_stats.invalidations += 1
-                            rest = vmask & ~socket_mask
-                            if rest:
-                                dir_sharers[vline] = rest
-                            else:
-                                del dir_sharers[vline]
+                        if inclusive:
+                            vowner = owner_get(vline, -1)
+                            if vowner >= 0 and socket_of[vowner] == socket:
+                                dram_wbs[socket] += 1
+                                writebacks += 1
+                                del dir_owner[vline]
+                            # Inclusion: purge the victim from this socket's
+                            # private caches.  The directory sharer mask tells
+                            # us which cores can possibly hold it, so streaming
+                            # victims (one sharer) cost one probe, not 2*cores.
+                            # NOTE: this bit-scan purge is a deliberate inline
+                            # copy of _invalidate_remote's body (minus the
+                            # remote-socket test), and this whole victim block
+                            # is the hot-path twin of _evict_l3_victim — keep
+                            # all three in sync.
+                            vmask = sharers_get(vline, 0)
+                            if vmask:
+                                local = vmask & socket_mask
+                                while local:
+                                    low = local & -local
+                                    local ^= low
+                                    (p1_sets, p1_mask, p1_stats, p1_dirty,
+                                     p2_sets, p2_mask, p2_stats,
+                                     p2_dirty) = purge[low.bit_length() - 1]
+                                    ps = p1_sets[vline & p1_mask]
+                                    if ps.pop(vline, miss) is not miss:
+                                        p1_dirty.discard(vline)
+                                        p1_stats.invalidations += 1
+                                    ps = p2_sets[vline & p2_mask]
+                                    if ps.pop(vline, miss) is not miss:
+                                        p2_dirty.discard(vline)
+                                        p2_stats.invalidations += 1
+                                rest = vmask & ~socket_mask
+                                if rest:
+                                    dir_sharers[vline] = rest
+                                else:
+                                    del dir_sharers[vline]
                     s3[line] = None
                 # Fill L2.
                 if len(s2) >= l2_assoc:
@@ -420,6 +498,8 @@ class MemoryHierarchy:
                     del s2[old]
                     l2_evic += 1
                 s2[line] = None
+                if pf_degree:
+                    self._prefetch_after_miss(core, line)
 
             # Fill L1.
             if len(s) >= l1_assoc:
@@ -489,16 +569,24 @@ class MemoryHierarchy:
 
     def replay(self, core: int, line: int, was_write: bool) -> None:
         """Warmup replay of one captured line (latency discarded)."""
-        self.access_block(core, [line], [was_write], mlp=1.0)
+        self.replay_block(core, [line], [was_write])
 
     def replay_block(self, core: int, lines, writes) -> None:
         """Warmup replay of a batch of captured lines for one core.
 
         ``lines``/``writes`` may be lists or numpy arrays; semantically
         identical to calling :meth:`replay` per entry, without the
-        per-line call overhead.
+        per-line call overhead.  Prefetching backends are suppressed for
+        the duration: replay is checkpoint-style state *reconstruction*,
+        so only the captured lines themselves may be installed — a
+        speculative next-line fill would evict genuinely captured state.
         """
-        self.access_block(core, lines, writes, mlp=1.0)
+        saved_degree = self.prefetch_degree
+        self.prefetch_degree = 0
+        try:
+            self.access_block(core, lines, writes, mlp=1.0)
+        finally:
+            self.prefetch_degree = saved_degree
 
     def flush_all(self) -> None:
         """Cold-start: empty every cache and the directory."""

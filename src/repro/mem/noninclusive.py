@@ -1,0 +1,37 @@
+"""Non-inclusive L3 hierarchy backend.
+
+Identical to the reference :class:`~repro.mem.hierarchy.MemoryHierarchy`
+except at L3 eviction time: the victim silently leaves the shared cache
+while private L1/L2 copies — and the directory entry tracking them —
+survive.  Modified lines therefore stay writable in their owner's private
+hierarchy across L3 victimization (their writeback happens later, on
+downgrade), and a line evicted from the L3 can still be served
+cache-to-cache from a private copy, exactly the behavior that
+distinguishes non-inclusive parts.
+
+Coherence stays correct because the directory in this model is logically
+global (unbounded sharer/owner maps), not embedded in L3 tags; inclusion
+was an eviction *policy* of the reference hierarchy, not a prerequisite
+for the protocol.
+
+Construct with ``inclusive=True`` to disable the distinguishing feature —
+the instance is then behaviorally identical to the reference hierarchy,
+which the backend parity suite asserts.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+class NonInclusiveHierarchy(MemoryHierarchy):
+    """Three-level hierarchy whose L3 does not back-invalidate privates."""
+
+    inclusive_l3 = False
+
+    def __init__(self, machine: MachineConfig, inclusive: bool = False) -> None:
+        super().__init__(machine)
+        # Instance attribute shadows the class seam, so one class serves
+        # both the backend and its feature-disabled parity twin.
+        self.inclusive_l3 = inclusive

@@ -87,17 +87,24 @@ class FullRunResult:
 class Machine:
     """A simulated shared-memory machine (Table I parameters).
 
-    ``hierarchy_factory`` lets callers swap the memory-hierarchy
-    implementation (the perf benchmarks run the reference/seed hierarchy
-    side by side with the fast one); it must accept a
+    The memory-hierarchy implementation defaults to the backend named by
+    ``config.hierarchy`` (resolved through
+    :mod:`repro.mem.backends`, so machine specs pick their backend by
+    name); an explicit ``hierarchy_factory`` overrides it — the perf
+    benchmarks use that to run the reference/seed hierarchy side by side
+    with the fast one.  A factory must accept a
     :class:`~repro.config.MachineConfig`.
     """
 
     def __init__(
         self,
         config: MachineConfig,
-        hierarchy_factory: type[MemoryHierarchy] = MemoryHierarchy,
+        hierarchy_factory: type[MemoryHierarchy] | None = None,
     ) -> None:
+        if hierarchy_factory is None:
+            from repro.mem.backends import hierarchy_backend
+
+            hierarchy_factory = hierarchy_backend(config.hierarchy)
         self.config = config
         self._hierarchy_factory = hierarchy_factory
         self.hierarchy = hierarchy_factory(config)

@@ -102,12 +102,28 @@ class MRUWarmup:
         # Dirty restoration is bounded: under LRU, a line is still resident
         # (hence possibly still dirty) only if fewer than one LLC's worth
         # of distinct lines were touched since its last write, so entries
-        # older than ``llc_lines / cores`` per core replay as clean reads —
-        # their writeback already happened before the checkpoint.
-        sharers = max(1, hierarchy.machine.cores_per_socket)
-        dirty_window = max(1, hierarchy.machine.l3.num_lines // sharers)
+        # older than ``llc_lines / sharers`` per core replay as clean reads —
+        # their writeback already happened before the checkpoint.  The
+        # capture holds one stream per *active thread*, and stream ``i``
+        # replays onto core ``i``, so each socket's LLC was shared by the
+        # number of active streams mapped to it (capped at its core
+        # count), not by every core the machine has — an 8-thread capture
+        # replayed on a wider machine must not shrink the window, and a
+        # half-populated socket keeps its wider per-writer share.
+        machine = hierarchy.machine
+        llc_lines = machine.l3.num_lines
+        # Stream i replays onto core i (checked against num_cores above),
+        # so each socket structurally holds at most cores_per_socket
+        # streams — the per-socket count needs no further clamping.
+        streams_per_socket = [0] * machine.num_sockets
+        for stream_index in range(len(self.data.per_core)):
+            streams_per_socket[machine.socket_of(stream_index)] += 1
         streams: list[tuple[list[int], list[bool]]] = []
-        for core_data in self.data.per_core:
+        for stream_index, core_data in enumerate(self.data.per_core):
+            sharers = max(
+                1, streams_per_socket[machine.socket_of(stream_index)]
+            )
+            dirty_window = max(1, llc_lines // sharers)
             clean_until = len(core_data) - dirty_window
             streams.append((
                 [line for line, _ in core_data],

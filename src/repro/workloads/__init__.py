@@ -44,13 +44,26 @@ WORKLOAD_NAMES: tuple[str, ...] = (
 )
 
 
+def registered_workloads() -> tuple[str, ...]:
+    """Every instantiable workload name, sorted.
+
+    A superset of :data:`WORKLOAD_NAMES`: includes extension workloads
+    (``npb-ua``) that the paper's figures exclude but that
+    :func:`get_workload` accepts.
+    """
+    return tuple(sorted(_REGISTRY))
+
+
 def get_workload(name: str, num_threads: int, scale: float = 1.0) -> Workload:
     """Instantiate a registered workload by its paper-facing name."""
     try:
         cls = _REGISTRY[name]
     except KeyError:
+        extensions = sorted(set(_REGISTRY) - set(WORKLOAD_NAMES))
         raise WorkloadError(
-            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+            f"unknown workload {name!r}; paper suite: "
+            f"{sorted(WORKLOAD_NAMES)}; extension workloads (not in the "
+            f"paper's figures): {extensions}"
         ) from None
     return cls(num_threads=num_threads, scale=scale)
 
@@ -72,4 +85,5 @@ __all__ = [
     "WORKLOAD_NAMES",
     "Workload",
     "get_workload",
+    "registered_workloads",
 ]

@@ -144,6 +144,90 @@ def test_cli_bench_rejects_unknown_target(capsys):
     assert "unknown bench targets" in err
 
 
+BENCH_ENV = (
+    "REPRO_BENCH_SCALE",
+    "REPRO_BENCH_WORKLOADS",
+    "REPRO_BENCH_MIN_SPEEDUP",
+    "REPRO_BENCH_REPEAT",
+)
+
+
+@pytest.fixture
+def bench_sandbox(monkeypatch):
+    """Run ``repro bench`` against a stubbed pytest from the repo root.
+
+    Clears the harness env knobs first (monkeypatch restores the caller's
+    values afterwards, including any that ``cmd_bench`` itself sets) and
+    records the pytest invocation plus the env it would have seen.
+    """
+    import os
+    import pathlib
+
+    import pytest as pytest_module
+
+    repo_root = pathlib.Path(cli.__file__).resolve().parents[2]
+    monkeypatch.chdir(repo_root)
+    for name in BENCH_ENV:
+        # setenv-then-delenv (not bare delenv) so monkeypatch records an
+        # undo even for initially-absent variables: whatever cmd_bench
+        # writes into os.environ is rolled back after the test.
+        monkeypatch.setenv(name, "sentinel")
+        monkeypatch.delenv(name)
+    calls: list[dict] = []
+    monkeypatch.setattr(
+        pytest_module, "main",
+        lambda args: calls.append(
+            {"args": args,
+             "env": {n: os.environ.get(n) for n in BENCH_ENV}}
+        ) or 0,
+    )
+    return calls
+
+
+def test_bench_unset_flags_do_not_leak_into_env(bench_sandbox):
+    """Satellite acceptance: omitted optional flags must leave the child
+    environment untouched — no literal "None" strings."""
+    assert cli.main(["bench", "perf"]) == 0
+    (call,) = bench_sandbox
+    assert call["env"] == {name: None for name in BENCH_ENV}
+    assert call["args"] == ["benchmarks/test_perf.py", "-x", "-q"]
+
+
+def test_bench_flags_round_trip_to_env(bench_sandbox):
+    assert cli.main([
+        "bench", "--scale", "0.1", "--workloads", "npb-is,npb-cg",
+        "--min-speedup", "1.5", "--repeat", "3", "perf", "fig1",
+    ]) == 0
+    (call,) = bench_sandbox
+    assert call["env"] == {
+        "REPRO_BENCH_SCALE": "0.1",
+        "REPRO_BENCH_WORKLOADS": "npb-is,npb-cg",
+        "REPRO_BENCH_MIN_SPEEDUP": "1.5",
+        "REPRO_BENCH_REPEAT": "3",
+    }
+    assert "None" not in "".join(v for v in call["env"].values())
+    assert call["args"] == [
+        "benchmarks/test_perf.py", "benchmarks/test_fig1.py", "-x", "-q",
+    ]
+
+
+def test_bench_workloads_subset_only(bench_sandbox):
+    """A ``--workloads`` subset must round-trip without dragging the other
+    unset knobs along."""
+    assert cli.main(["bench", "--workloads", "npb-is", "fig1"]) == 0
+    (call,) = bench_sandbox
+    assert call["env"]["REPRO_BENCH_WORKLOADS"] == "npb-is"
+    for name in BENCH_ENV:
+        if name != "REPRO_BENCH_WORKLOADS":
+            assert call["env"][name] is None
+
+
+def test_bench_default_targets_whole_directory(bench_sandbox):
+    assert cli.main(["bench"]) == 0
+    (call,) = bench_sandbox
+    assert call["args"] == ["benchmarks", "-x", "-q"]
+
+
 def test_workers_default_env(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "3")
     assert ExperimentRunner(scale=0.1).workers == 3

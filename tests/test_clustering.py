@@ -236,11 +236,65 @@ class TestSimPointClusterer:
         with pytest.raises(ClusteringError):
             self._clusterer().fit(np.ones((3, 3)), np.ones(4))
 
+    def test_duplicate_heavy_signatures_keep_diagnostics_consistent(self):
+        """Regression: with duplicate-heavy data the reported diagnostics
+        must stay self-consistent — ``chosen_k`` keys ``bic_by_k`` while
+        ``num_clusters`` counts the compacted clusters."""
+        signatures = np.vstack([
+            np.zeros(6) if i % 2 else np.ones(6) for i in range(12)
+        ])
+        result = self._clusterer(max_k=6).fit(signatures, np.ones(12))
+        assert result.chosen_k in result.bic_by_k
+        assert result.num_clusters == len(result.representatives)
+        assert result.num_clusters <= result.chosen_k
+        assert int(result.labels.max()) + 1 == result.num_clusters
+        covered = sorted(
+            i
+            for cluster in range(result.num_clusters)
+            for i in result.members_of(cluster).tolist()
+        )
+        assert covered == list(range(12))
+
+    def test_empty_cluster_drop_records_selected_k(self, monkeypatch):
+        """Regression: when compaction drops an empty cluster, the result
+        must still report the *selected* pre-compaction k (a ``bic_by_k``
+        key), with the compacted count in ``num_clusters``."""
+        from types import SimpleNamespace
+
+        from repro.clustering import simpoint as sp
+
+        def fake_kmeans(points, weights, k, seed, max_iterations, restarts):
+            if k == 3:  # cluster 1 comes back empty
+                labels = np.array([0, 0, 2, 2, 0, 2])
+            else:
+                labels = np.arange(points.shape[0]) % k
+            centers = np.vstack([
+                points[labels == j].mean(axis=0)
+                if np.any(labels == j) else np.zeros(points.shape[1])
+                for j in range(k)
+            ])
+            return SimpleNamespace(labels=labels, centers=centers)
+
+        monkeypatch.setattr(sp, "weighted_kmeans", fake_kmeans)
+        # Monotone scores make the BIC rule select the largest k (3).
+        monkeypatch.setattr(
+            sp, "weighted_bic", lambda p, w, labels, c: float(c.shape[0])
+        )
+        signatures = np.arange(24, dtype=float).reshape(6, 4)
+        result = SimPointClusterer(
+            SimPointConfig(max_k=3, kmeans_restarts=1)
+        ).fit(signatures, np.ones(6))
+        assert result.chosen_k == 3
+        assert result.chosen_k in result.bic_by_k
+        assert result.num_clusters == 2
+        assert len(result.representatives) == 2
+        assert set(result.labels.tolist()) == {0, 1}  # renumbered densely
+
     def test_members_of(self):
         rng = np.random.default_rng(8)
         signatures = rng.random((10, 8))
         result = self._clusterer(max_k=3).fit(signatures, np.ones(10))
         seen = []
-        for cluster in range(result.chosen_k):
+        for cluster in range(result.num_clusters):
             seen.extend(result.members_of(cluster).tolist())
         assert sorted(seen) == list(range(10))

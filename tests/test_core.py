@@ -216,7 +216,7 @@ class TestReconstruction:
             SimPointConfig(max_k=workload.num_regions, bic_threshold=1.0,
                            kmeans_restarts=2)
         ).fit(matrix, weights)
-        if clustering.chosen_k == workload.num_regions:
+        if clustering.num_clusters == workload.num_regions:
             sel = select_barrierpoints(
                 clustering, weights, workload.name, 4, "combine")
             metrics = {p.region_index: full.region(p.region_index)

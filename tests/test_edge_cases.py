@@ -69,7 +69,8 @@ class TestDegenerateClustering:
             SimPointConfig(max_k=8, kmeans_restarts=2)
         ).fit(signatures, weights)
         assert result.chosen_k >= 1
-        for cluster in range(result.chosen_k):
+        assert 1 <= result.num_clusters <= result.chosen_k
+        for cluster in range(result.num_clusters):
             assert result.members_of(cluster).size > 0
 
     def test_identical_regions_cluster_to_one(self):

@@ -1,0 +1,208 @@
+"""Tests for the data-driven machine registry (repro.machines)."""
+
+import pytest
+
+from repro.config import MachineConfig, scaled
+from repro.errors import ConfigError
+from repro.machines import (
+    DRAM_TIERS,
+    MACHINE_SPECS,
+    build_machine,
+    get_machine,
+    machine_names,
+    machine_summary,
+    register_machine,
+    unregister_machine,
+)
+
+
+class TestBuiltins:
+    def test_all_specs_validate(self):
+        for name in machine_names():
+            cfg = get_machine(name)
+            assert isinstance(cfg, MachineConfig)
+            assert cfg.name == name
+
+    def test_table1_8core_matches_paper(self):
+        cfg = get_machine("table1-8core")
+        assert cfg.num_sockets == 1
+        assert cfg.cores_per_socket == 8
+        assert cfg.core.frequency_ghz == 2.66
+        assert cfg.l3.size_bytes == 8 * 1024 * 1024
+        assert cfg.mem.bandwidth_gbps_per_socket == DRAM_TIERS["ddr3-1066"]
+        assert cfg.hierarchy == "inclusive"
+
+    def test_wrappers_delegate_to_registry(self):
+        from repro.config import table1_8core, table1_32core
+
+        assert table1_8core() == get_machine("table1-8core")
+        assert table1_32core() == get_machine("table1-32core")
+        # Identical to what the seed's hard-coded constructors built.
+        assert table1_8core() == MachineConfig(
+            name="table1-8core", num_sockets=1, cores_per_socket=8
+        )
+
+    def test_base_inheritance(self):
+        base = get_machine("table1-8core")
+        wide = get_machine("table1-32core")
+        assert wide.num_sockets == 4
+        assert wide.l3 == base.l3
+        assert wide.core == base.core
+        prefetch = get_machine("table1-8core-prefetch")
+        assert prefetch.hierarchy == "prefetch-nl"
+        assert prefetch.l3 == base.l3
+
+    def test_deep_merge_keeps_sibling_levels(self):
+        big = get_machine("bigl3-8core")
+        base = get_machine("table1-8core")
+        assert big.l3.size_bytes == 2 * base.l3.size_bytes
+        assert big.l1d == base.l1d  # untouched sibling cache level
+        assert big.mem.bandwidth_gbps_per_socket == DRAM_TIERS["ddr3-1866"]
+
+    def test_fingerprints_distinct_per_machine(self):
+        prints = {get_machine(n).fingerprint() for n in machine_names()}
+        assert len(prints) == len(machine_names())
+
+    def test_hierarchy_participates_in_fingerprint(self):
+        assert (
+            get_machine("table1-8core").fingerprint()
+            != get_machine("table1-8core-noninclusive").fingerprint()
+        )
+
+    def test_scaled_preserves_hierarchy_backend(self):
+        cfg = scaled(get_machine("table1-8core-prefetch"))
+        assert cfg.hierarchy == "prefetch-nl"
+
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigError, match="unknown machine"):
+            get_machine("table1-9core")
+
+    def test_summary_covers_registry(self):
+        rows = machine_summary()
+        assert [r["name"] for r in rows] == list(machine_names())
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["table1-32core"]["cores"] == 32
+        assert by_name["table1-8core-prefetch"]["hierarchy"] == "prefetch-nl"
+        assert by_name["table1-16core"]["description"]
+
+
+class TestValidation:
+    def test_unknown_top_key(self):
+        with pytest.raises(ConfigError, match="unknown machine key"):
+            build_machine("m", {"base": "table1-8core", "socktes": 2})
+
+    def test_unknown_cache_key(self):
+        spec = {"base": "table1-8core", "caches": {"l3": {"kb": 8192, "ways": 16, "latency": 30, "sets": 4}}}
+        with pytest.raises(ConfigError, match="unknown l3 key"):
+            build_machine("m", spec)
+
+    def test_missing_cache_field(self):
+        spec = {"base": "table1-8core", "caches": {"l3": {"ways": 16, "latency": 30}}}
+        # Deep-merge keeps the base's `kb`; a from-scratch spec must fail.
+        build_machine("m", spec)
+        bare = {
+            "sockets": 1, "cores_per_socket": 2,
+            "caches": {
+                "l1i": {"ways": 4, "latency": 4},
+                "l1d": {"kb": 32, "ways": 8, "latency": 4},
+                "l2": {"kb": 256, "ways": 8, "latency": 8},
+                "l3": {"kb": 8192, "ways": 16, "latency": 30},
+            },
+            "dram": {"latency_ns": 65.0, "tier": "ddr3-1066"},
+        }
+        with pytest.raises(ConfigError, match="l1i spec missing 'kb'"):
+            build_machine("m", bare)
+
+    def test_missing_required_section(self):
+        with pytest.raises(ConfigError, match="missing 'caches'"):
+            build_machine("m", {"sockets": 1, "cores_per_socket": 2,
+                                "dram": {"tier": "ddr3-1066"}})
+
+    def test_unknown_dram_tier(self):
+        spec = {"base": "table1-8core", "dram": {"latency_ns": 65.0, "tier": "ddr9"}}
+        with pytest.raises(ConfigError, match="unknown DRAM tier"):
+            build_machine("m", spec)
+
+    def test_dram_tier_xor_bandwidth(self):
+        spec = {"base": "table1-8core",
+                "dram": {"tier": "ddr3-1066", "bandwidth_gbps": 8.0}}
+        with pytest.raises(ConfigError, match="exactly one"):
+            build_machine("m", spec)
+
+    def test_explicit_bandwidth_accepted(self):
+        cfg = build_machine(
+            "m", {"base": "table1-8core",
+                  "dram": {"latency_ns": 50.0, "bandwidth_gbps": 12.5}}
+        )
+        assert cfg.mem.bandwidth_gbps_per_socket == 12.5
+        assert cfg.mem.latency_ns == 50.0
+
+    def test_unknown_hierarchy_backend(self):
+        spec = {"base": "table1-8core", "hierarchy": "exclusive"}
+        with pytest.raises(ConfigError, match="unknown hierarchy backend"):
+            build_machine("m", spec)
+
+    def test_unknown_base(self):
+        with pytest.raises(ConfigError, match="unknown base"):
+            build_machine("m", {"base": "no-such-machine"})
+
+    def test_bad_cache_geometry_propagates(self):
+        spec = {"base": "table1-8core",
+                "caches": {"l3": {"kb": 100, "ways": 16, "latency": 30}}}
+        with pytest.raises(ConfigError):
+            build_machine("m", spec)
+
+
+class TestRuntimeRegistration:
+    def test_register_and_lookup(self):
+        try:
+            cfg = register_machine(
+                "test-12core",
+                {"base": "table1-8core", "cores_per_socket": 12,
+                 "description": "runtime-registered"},
+            )
+            assert cfg.num_cores == 12
+            assert get_machine("test-12core") is cfg
+            assert "test-12core" in machine_names()
+        finally:
+            unregister_machine("test-12core")
+        assert "test-12core" not in machine_names()
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_machine("table1-8core", {"base": "table1-8core"})
+
+    def test_bad_spec_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            register_machine("test-bad", {"base": "table1-8core", "bogus": 1})
+        assert "test-bad" not in machine_names()
+
+    def test_builtin_unregister_rejected(self):
+        with pytest.raises(ConfigError, match="built in"):
+            unregister_machine("table1-8core")
+
+    def test_unregister_refuses_while_dependents_exist(self):
+        """Removing a runtime base another spec inherits from would leave
+        the registry unresolvable; it must refuse until dependents go."""
+        try:
+            register_machine("test-dep-base", {"base": "table1-8core",
+                                               "sockets": 2})
+            register_machine("test-dep-leaf", {"base": "test-dep-base",
+                                               "cores_per_socket": 4})
+            with pytest.raises(ConfigError, match="is the base of"):
+                unregister_machine("test-dep-base")
+            # Registry stays fully resolvable after the refusal.
+            assert machine_summary()
+            unregister_machine("test-dep-leaf")
+            unregister_machine("test-dep-base")
+        finally:
+            for name in ("test-dep-leaf", "test-dep-base"):
+                if name not in MACHINE_SPECS and name in machine_names():
+                    unregister_machine(name)
+        assert "test-dep-base" not in machine_names()
+
+    def test_builtin_specs_not_mutated_by_build(self):
+        before = repr(MACHINE_SPECS)
+        build_machine("m", {"base": "table1-32core", "sockets": 8})
+        get_machine("table1-32core")
+        assert repr(MACHINE_SPECS) == before

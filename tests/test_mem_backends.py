@@ -1,0 +1,261 @@
+"""Tests for the pluggable hierarchy backends (repro.mem.backends).
+
+The acceptance property: with their distinguishing features disabled,
+the non-inclusive and prefetching backends are *behaviorally identical*
+to the reference inclusive hierarchy — same stall cycles, same counters,
+same resident lines, same directory state — on a randomized coherent
+access mix.  With the features on, each backend shows its signature
+behavior.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import (
+    HIERARCHY_BACKENDS,
+    MemoryHierarchy,
+    NextLinePrefetchHierarchy,
+    NonInclusiveHierarchy,
+    backend_names,
+    hierarchy_backend,
+)
+from repro.mem.hierarchy import AccessCounters
+from repro.sim.machine import Machine
+from tests.conftest import tiny_machine
+
+
+def drive(hierarchy, seed=1234, accesses=6000, lines=4000, write_frac=0.3):
+    """Replay a deterministic random access mix; returns summed stalls."""
+    rng = random.Random(seed)
+    num_cores = hierarchy.machine.num_cores
+    stalls = 0.0
+    for _ in range(accesses):
+        core = rng.randrange(num_cores)
+        line = rng.randrange(lines)
+        stalls += hierarchy.access(core, line, rng.random() < write_frac)
+    return stalls
+
+
+def full_state(hierarchy):
+    """Every observable: caches, dirtiness, directory, counters."""
+    return (
+        [dict(s) for cache in (*hierarchy.l1i, *hierarchy.l1d,
+                               *hierarchy.l2, *hierarchy.l3)
+         for s in cache._sets],
+        [set(cache._dirty) for cache in (*hierarchy.l1d, *hierarchy.l2,
+                                         *hierarchy.l3)],
+        dict(hierarchy.directory._sharers),
+        dict(hierarchy.directory._owner),
+        hierarchy.snapshot().to_state(),
+    )
+
+
+class TestRegistry:
+    def test_names(self):
+        assert backend_names() == ("inclusive", "noninclusive", "prefetch-nl")
+
+    def test_lookup(self):
+        assert hierarchy_backend("inclusive") is MemoryHierarchy
+        assert hierarchy_backend("noninclusive") is NonInclusiveHierarchy
+        assert hierarchy_backend("prefetch-nl") is NextLinePrefetchHierarchy
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError, match="unknown hierarchy backend"):
+            hierarchy_backend("exclusive")
+
+    def test_every_backend_constructible_from_config(self):
+        machine = tiny_machine()
+        for cls in HIERARCHY_BACKENDS.values():
+            hierarchy = cls(machine)
+            assert isinstance(hierarchy, MemoryHierarchy)
+
+    def test_machine_resolves_backend_from_config(self):
+        from dataclasses import replace
+
+        base = tiny_machine()
+        assert type(Machine(base).hierarchy) is MemoryHierarchy
+        for name, cls in HIERARCHY_BACKENDS.items():
+            machine = Machine(replace(base, hierarchy=name))
+            assert type(machine.hierarchy) is cls
+            machine.reset()
+            assert type(machine.hierarchy) is cls
+
+    def test_machine_rejects_unknown_backend(self):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigError, match="unknown hierarchy backend"):
+            Machine(replace(tiny_machine(), hierarchy="bogus"))
+
+
+class TestFeatureDisabledParity:
+    """Acceptance: features off => identical to the reference hierarchy."""
+
+    @pytest.mark.parametrize("sockets", [1, 2])
+    def test_noninclusive_disabled_matches_reference(self, sockets):
+        machine = tiny_machine(num_sockets=sockets)
+        ref = MemoryHierarchy(machine)
+        twin = NonInclusiveHierarchy(machine, inclusive=True)
+        assert drive(ref) == drive(twin)
+        assert full_state(ref) == full_state(twin)
+
+    @pytest.mark.parametrize("sockets", [1, 2])
+    def test_prefetch_disabled_matches_reference(self, sockets):
+        machine = tiny_machine(num_sockets=sockets)
+        ref = MemoryHierarchy(machine)
+        twin = NextLinePrefetchHierarchy(machine, degree=0)
+        assert drive(ref) == drive(twin)
+        assert full_state(ref) == full_state(twin)
+
+    def test_features_enabled_diverge(self):
+        machine = tiny_machine()
+        ref_state = full_state(
+            (lambda h: (drive(h), h)[1])(MemoryHierarchy(machine))
+        )
+        for hierarchy in (
+            NonInclusiveHierarchy(machine),
+            NextLinePrefetchHierarchy(machine),
+        ):
+            drive(hierarchy)
+            assert full_state(hierarchy) != ref_state
+
+
+class TestNonInclusive:
+    def test_l3_eviction_leaves_private_copies(self):
+        machine = tiny_machine()
+        h = NonInclusiveHierarchy(machine)
+        l3 = h.l3[0]
+        target = 0  # maps to L3 set 0 and L2 set 0 of this geometry
+        h.access(0, target, False)
+        # Evict set 0 of the L3 with assoc-many conflicting fills from
+        # another core (L3 sets = 32: stride by 32 keeps one L3 set hot;
+        # L2 of core 1 has 16 sets so its pressure stays on core 1).
+        stride = l3.config.num_sets
+        for i in range(1, l3.config.associativity + 1):
+            h.access(1, target + i * stride, False)
+        assert not l3.contains(target)
+        # Non-inclusive: core 0 keeps its private copies and the sharer bit.
+        assert h.l1d[0].contains(target)
+        assert h.l2[0].contains(target)
+        assert h.directory.sharers(target) & 1
+
+    def test_inclusive_reference_purges_private_copies(self):
+        machine = tiny_machine()
+        h = MemoryHierarchy(machine)
+        l3 = h.l3[0]
+        target = 0
+        h.access(0, target, False)
+        stride = l3.config.num_sets
+        for i in range(1, l3.config.associativity + 1):
+            h.access(1, target + i * stride, False)
+        assert not l3.contains(target)
+        assert not h.l1d[0].contains(target)
+        assert not h.l2[0].contains(target)
+
+    def test_modified_line_survives_l3_eviction(self):
+        machine = tiny_machine()
+        h = NonInclusiveHierarchy(machine)
+        l3 = h.l3[0]
+        target = 0
+        h.access(0, target, True)
+        assert h.directory.owner(target) == 0
+        stride = l3.config.num_sets
+        for i in range(1, l3.config.associativity + 1):
+            h.access(1, target + i * stride, False)
+        assert not l3.contains(target)
+        # Ownership survives; the writeback happens later, on downgrade.
+        assert h.directory.owner(target) == 0
+        before = h.snapshot()
+        h.access(1, target, False)  # remote read downgrades and writes back
+        delta = h.snapshot().delta(before)
+        assert delta.writebacks == 1
+        assert h.directory.owner(target) == -1
+
+
+class TestNextLinePrefetch:
+    def test_l2_miss_prefetches_next_line(self):
+        h = NextLinePrefetchHierarchy(tiny_machine())
+        h.access(0, 100, False)
+        assert h.l2[0].contains(101)  # prefetched
+        assert h.l3[0].contains(101)  # filled through the shared L3
+        assert not h.l1d[0].contains(101)  # prefetch stops at L2
+        assert h.snapshot().prefetches == 1
+
+    def test_degree_widens_the_window(self):
+        h = NextLinePrefetchHierarchy(tiny_machine(), degree=3)
+        h.access(0, 100, False)
+        for line in (101, 102, 103):
+            assert h.l2[0].contains(line)
+        assert h.snapshot().prefetches == 3
+
+    def test_prefetch_hit_avoids_demand_stall(self):
+        machine = tiny_machine()
+        plain = MemoryHierarchy(machine)
+        pf = NextLinePrefetchHierarchy(machine)
+        cold_plain = plain.access(0, 100, False)
+        cold_pf = pf.access(0, 100, False)
+        assert cold_pf == cold_plain  # prefetch latency is hidden
+        # The next line is an L2 hit instead of a DRAM miss.
+        assert pf.access(0, 101, False) < plain.access(0, 101, False)
+
+    def test_prefetch_charges_dram_bandwidth(self):
+        h = NextLinePrefetchHierarchy(tiny_machine())
+        h.access(0, 100, False)
+        # One demand fill + one prefetch fill on the DRAM bus.
+        assert h.snapshot().dram_reads_per_socket == (2,)
+
+    def test_resident_next_line_not_reissued(self):
+        h = NextLinePrefetchHierarchy(tiny_machine())
+        h.access(0, 100, False)   # prefetches 101
+        before = h.snapshot().prefetches
+        h.access(0, 200, False)   # prefetches 201
+        h.access(0, 200 + 1, False)  # L2 hit: no new prefetch
+        assert h.snapshot().prefetches == before + 1
+
+    def test_remote_modified_line_not_prefetched(self):
+        h = NextLinePrefetchHierarchy(tiny_machine())
+        h.access(1, 101, True)    # core 1 owns 101 in M state
+        owner_before = h.directory.owner(101)
+        h.access(0, 100, False)   # would prefetch 101
+        assert h.directory.owner(101) == owner_before == 1
+        assert not h.l2[0].contains(101)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ConfigError):
+            NextLinePrefetchHierarchy(tiny_machine(), degree=-1)
+
+    def test_streaming_reduces_stalls(self):
+        machine = tiny_machine()
+        plain = MemoryHierarchy(machine)
+        pf = NextLinePrefetchHierarchy(machine)
+        lines = list(range(5000, 5000 + 256))
+        writes = [False] * len(lines)
+        stall_plain = plain.access_block(0, lines, writes, mlp=1.0)
+        stall_pf = pf.access_block(0, lines, writes, mlp=1.0)
+        assert stall_pf < 0.7 * stall_plain
+
+
+class TestCounters:
+    def test_access_counters_roundtrip_includes_prefetches(self):
+        c = AccessCounters(loads=2, prefetches=5,
+                           dram_reads_per_socket=(1,),
+                           dram_writebacks_per_socket=(0,))
+        back = AccessCounters.from_state(c.to_state())
+        assert back.prefetches == 5
+        delta = back.delta(AccessCounters(
+            prefetches=2, dram_reads_per_socket=(0,),
+            dram_writebacks_per_socket=(0,)))
+        assert delta.prefetches == 3
+
+    def test_region_counters_flow_through_machine(self):
+        """Prefetch counters reach RegionMetrics via the machine layer."""
+        from dataclasses import replace
+
+        from repro.workloads import get_workload
+
+        config = replace(tiny_machine(), hierarchy="prefetch-nl")
+        workload = get_workload("npb-is", 4, scale=0.1)
+        machine = Machine(config)
+        result = machine.run_full(workload)
+        assert sum(r.counters.prefetches for r in result.regions) > 0

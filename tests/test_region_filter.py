@@ -109,6 +109,6 @@ class TestNpbUA:
         total = weights.sum()
         covered = sum(
             weights[clustering.members_of(c)].sum()
-            for c in range(clustering.chosen_k)
+            for c in range(clustering.num_clusters)
         )
         assert covered == pytest.approx(total)

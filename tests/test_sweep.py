@@ -1,0 +1,268 @@
+"""Tests for the cross-architecture sweep subsystem (repro sweep).
+
+Includes the PR's acceptance property: a 3-machine × 4-workload matrix
+runs through the artifact store, and a warm rerun is pure store hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core.crossarch import TransferCell
+from repro.experiments import battery, sweep
+from repro.experiments.common import (
+    DEFAULT_SWEEP_MACHINES,
+    ExperimentRunner,
+    experiment_machine,
+    sweep_machine,
+)
+from repro.errors import ConfigError
+from repro.machines import get_machine, machine_names
+from repro.store import ArtifactStore
+
+SWEEP_MACHINES = (
+    "table1-8core", "table1-8core-noninclusive", "table1-8core-prefetch",
+)
+SWEEP_WORKLOADS = ("npb-is", "npb-ft", "npb-cg", "parsec-bodytrack")
+
+
+def sweep_runner(store_dir, workers=0) -> ExperimentRunner:
+    """A small-scale runner over the acceptance matrix."""
+    return ExperimentRunner(
+        scale=0.1,
+        benchmarks=SWEEP_WORKLOADS,
+        sweep_machines=SWEEP_MACHINES,
+        workers=workers,
+        store=ArtifactStore(root=store_dir),
+    )
+
+
+class TestSweepMachines:
+    def test_sweep_machine_matches_experiment_machine(self):
+        assert sweep_machine("table1-8core") == experiment_machine(8)
+        assert sweep_machine("table1-32core") == experiment_machine(32)
+
+    def test_default_machine_set(self):
+        assert len(DEFAULT_SWEEP_MACHINES) >= 3
+        assert set(DEFAULT_SWEEP_MACHINES) <= set(machine_names())
+        backends = {get_machine(m).hierarchy for m in DEFAULT_SWEEP_MACHINES}
+        assert {"inclusive", "noninclusive", "prefetch-nl"} <= backends
+
+
+class TestSweepCompute:
+    def test_acceptance_matrix_and_warm_store(self, tmp_path):
+        """3 machines x 4 workloads; a fresh runner reruns on store hits."""
+        cold = sweep_runner(tmp_path)
+        cells = sweep.compute(cold)
+        assert len(cells) == len(SWEEP_MACHINES) ** 2 * len(SWEEP_WORKLOADS)
+        keys = {(c.workload, c.source_machine, c.target_machine) for c in cells}
+        assert len(keys) == len(cells)  # full cross product, no dupes
+        for cell in cells:
+            assert np.isfinite(cell.error_pct) and cell.error_pct >= 0
+            assert cell.source_threads == cell.target_threads == 8
+            assert cell.num_barrierpoints >= 1
+            assert cell.native == (
+                cell.source_machine == cell.target_machine
+            )
+
+        warm = sweep_runner(tmp_path)
+        warm_cells = sweep.compute(warm)
+        assert warm_cells == cells
+        assert warm.store.hits > 0
+        assert warm.store.misses == 0  # every expensive pass came from disk
+
+    def test_parallel_identical_to_serial(self, tmp_path):
+        serial = sweep.compute(sweep_runner(tmp_path / "serial"))
+        parallel = sweep.compute(sweep_runner(tmp_path / "par", workers=4))
+        assert parallel == serial
+
+    def test_cross_core_count_transfer(self, tmp_path):
+        """Selections transfer across machines with different core counts."""
+        runner = ExperimentRunner(
+            scale=0.1,
+            benchmarks=("npb-is",),
+            sweep_machines=("table1-8core", "table1-16core"),
+            store=ArtifactStore(root=tmp_path),
+        )
+        cells = sweep.compute(runner)
+        by_pair = {(c.source_machine, c.target_machine): c for c in cells}
+        crossed = by_pair[("table1-8core", "table1-16core")]
+        assert crossed.source_threads == 8
+        assert crossed.target_threads == 16
+        assert np.isfinite(crossed.error_pct)
+
+    def test_hierarchy_backends_change_reference_timing(self, tmp_path):
+        """The sweep machines genuinely differ: full runs disagree."""
+        runner = sweep_runner(tmp_path)
+        fulls = {
+            m: runner.full("npb-ft", 8, machine=m) for m in SWEEP_MACHINES
+        }
+        cycles = {m: f.app.cycles for m, f in fulls.items()}
+        assert len(set(cycles.values())) == len(SWEEP_MACHINES)
+
+
+class TestSweepRender:
+    def test_render_structure(self, tmp_path):
+        runner = ExperimentRunner(
+            scale=0.1,
+            benchmarks=("npb-is", "npb-ft"),
+            sweep_machines=("table1-8core", "table1-8core-prefetch"),
+            store=ArtifactStore(root=tmp_path),
+        )
+        out = sweep.run(runner)
+        assert "cross-architecture transfer" in out
+        assert "matrix: 2 machines x 2 workloads (8 cells)" in out
+        assert "avg error, native selections" in out
+        assert "avg error, transferred selections" in out
+        assert "8core-prefetch" in out
+        assert "prefetch-nl" in out
+
+    def test_run_rejects_unknown_machine(self, tmp_path):
+        runner = ExperimentRunner(
+            scale=0.1, benchmarks=("npb-is",),
+            sweep_machines=("no-such-machine",),
+            store=ArtifactStore(root=tmp_path),
+        )
+        with pytest.raises(ConfigError, match="unknown machine"):
+            sweep.run(runner)
+
+
+class TestBatteryIntegration:
+    def test_sweep_registered_but_not_default(self):
+        assert "sweep" in battery.EXPERIMENTS
+        assert "sweep" in battery.EXPERIMENT_NEEDS
+        assert "sweep" not in battery.DEFAULT_BATTERY
+        assert set(battery.DEFAULT_BATTERY) == set(battery.EXPERIMENTS) - {
+            "sweep"
+        }
+
+    def test_select_experiments_defaults_exclude_sweep(self):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        assert battery.select_experiments(parser, "") == list(
+            battery.DEFAULT_BATTERY
+        )
+        assert battery.select_experiments(parser, "sweep") == ["sweep"]
+
+    def test_runner_from_args_validates_machines(self):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        battery.add_runner_options(parser)
+        args = parser.parse_args(["--machines", "table1-8core,bogus"])
+        with pytest.raises(ConfigError, match="unknown machines"):
+            battery.runner_from_args(args)
+        args = parser.parse_args(
+            ["--machines", "table1-8core,table1-16core"]
+        )
+        runner = battery.runner_from_args(args)
+        assert runner.sweep_machines == ("table1-8core", "table1-16core")
+
+    def test_machines_scope_only_the_sweep_figure_key(self):
+        """A --machines change must recompute the sweep and nothing else."""
+        a = ExperimentRunner(scale=0.1, store=None)
+        b = ExperimentRunner(
+            scale=0.1, store=None, sweep_machines=("table1-8core",)
+        )
+        assert battery.figure_key(a, "sweep") != battery.figure_key(b, "sweep")
+        for name in battery.DEFAULT_BATTERY:
+            assert battery.figure_key(a, name) == battery.figure_key(b, name)
+
+    def test_parallel_prefetch_rejects_runtime_machines(self, tmp_path):
+        """Runtime registrations are per-process: a parallel sweep over
+        one must fail fast, not crash inside the worker pool."""
+        from repro.machines import register_machine, unregister_machine
+
+        try:
+            register_machine("test-sweep-custom", {"base": "table1-8core"})
+            runner = ExperimentRunner(
+                scale=0.1, benchmarks=("npb-is",), workers=2,
+                sweep_machines=("test-sweep-custom",),
+                store=ArtifactStore(root=tmp_path),
+            )
+            with pytest.raises(ConfigError, match="runtime-registered"):
+                runner.prefetch(runner.sweep_pairs())
+            # Serial computation of the same sweep works fine.
+            runner.workers = 0
+            cells = sweep.compute(runner)
+            assert len(cells) == 1
+        finally:
+            unregister_machine("test-sweep-custom")
+
+
+class TestSweepCli:
+    def test_cli_sweep_computes_then_serves_from_store(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        argv = [
+            "sweep", "--scale", "0.1",
+            "--machines", "table1-8core,table1-8core-prefetch",
+            "--workloads", "npb-is,npb-cg",
+            "--out", str(tmp_path / "sweep.txt"),
+        ]
+        assert cli.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "matrix: 2 machines x 2 workloads" in out
+        assert "(computed)" in out
+        assert "cross-architecture transfer" in (
+            tmp_path / "sweep.txt"
+        ).read_text()
+
+        assert cli.main(argv) == 0
+        assert "(store)" in capsys.readouterr().out
+
+    def test_cli_sweep_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--workloads", "npb-zz"])
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_cli_sweep_accepts_extension_workloads(self, monkeypatch):
+        """npb-ua is registered and runnable; the sweep must not reject
+        it just because the paper's figures exclude it."""
+        seen = {}
+
+        def fake_run(runner, names, on_result=None):
+            seen["benchmarks"] = runner.benchmarks
+            return {}
+
+        monkeypatch.setattr(battery, "run_experiments", fake_run)
+        assert cli.main(["sweep", "--workloads", "npb-ua,npb-is"]) == 0
+        assert seen["benchmarks"] == ("npb-ua", "npb-is")
+
+    def test_cli_sweep_rejects_unknown_machine_cleanly(self, capsys):
+        """A bad --machines value is a usage error, not a traceback."""
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["sweep", "--machines", "table1-9core"])
+        assert exc.value.code == 2
+        assert "unknown machines" in capsys.readouterr().err
+
+    def test_cli_machines_lists_registry(self, capsys):
+        assert cli.main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in machine_names():
+            assert name in out
+        assert "noninclusive" in out
+
+    def test_cli_machines_fingerprints(self, capsys):
+        assert cli.main(["machines", "--fingerprints"]) == 0
+        out = capsys.readouterr().out
+        assert get_machine("table1-8core").fingerprint() in out
+
+
+class TestTransferCell:
+    def test_frozen_dataclass_equality(self):
+        cell = TransferCell(
+            workload="npb-is", source_machine="a", target_machine="b",
+            source_threads=8, target_threads=8, error_pct=1.0,
+            apki_difference=0.1, num_barrierpoints=3,
+        )
+        assert not cell.native
+        assert cell == TransferCell(
+            workload="npb-is", source_machine="a", target_machine="b",
+            source_threads=8, target_threads=8, error_pct=1.0,
+            apki_difference=0.1, num_barrierpoints=3,
+        )

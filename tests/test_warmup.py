@@ -81,6 +81,102 @@ class TestMRUWarmup:
         assert h.directory.owner(0) == -1       # ancient write: clean
         assert h.directory.owner(n - 1) == 0    # recent write: still M
 
+    def test_dirty_window_counts_active_threads_not_cores(self):
+        """Regression: a capture with fewer streams than cores-per-socket
+        must size the dirty window by the *active thread* count — the LLC
+        was shared by that many writers — not by the machine's full
+        cores-per-socket, which replayed recent writes as clean."""
+        machine = tiny_machine()  # 4 cores/socket, 512-line L3
+        llc = machine.l3.num_lines
+        correct_window = llc // 2       # 2 active threads
+        wrong_window = llc // machine.cores_per_socket
+        assert correct_window > wrong_window
+        # Two streams of `correct_window` distinct written lines each;
+        # disjoint line ranges spread evenly over L3 sets, so the 512
+        # lines exactly fill the L3 and nothing is evicted during replay.
+        streams = (
+            tuple((i, True) for i in range(correct_window)),
+            tuple((1000 + i, True) for i in range(correct_window)),
+        )
+        h = MemoryHierarchy(machine)
+        MRUWarmup(_data(per_core=streams)).prepare(h, 3)
+        dirty = [
+            line
+            for lines in ((s[0] for s in st) for st in streams)
+            for line in lines
+            if h.directory.owner(line) >= 0
+        ]
+        # Every captured write is inside the two-sharer window, so every
+        # line must replay dirty; the old cores-per-socket window dropped
+        # M state from the first half of each stream.
+        assert len(dirty) == 2 * correct_window
+
+    def test_dirty_window_full_sockets_share_per_socket(self):
+        """With every core active, the window is the per-socket share
+        ``llc / cores_per_socket`` — stream counts on *other* sockets
+        must not shrink it (a machine-wide 8-sharer window would)."""
+        machine = tiny_machine(num_sockets=2)  # 8 cores, 4 per socket
+        llc = machine.l3.num_lines
+        window = llc // machine.cores_per_socket  # 4 writers per socket
+        # Four streams per socket of exactly `window` written lines: the
+        # socket L3 fills exactly (no evictions), and with the per-socket
+        # window every entry is recent enough to stay dirty.  A
+        # machine-wide 8-sharer window would replay each stream's older
+        # half clean.
+        n = window
+        streams = tuple(
+            tuple((core * 10_000 + i, True) for i in range(n))
+            for core in range(8)
+        )
+        h = MemoryHierarchy(machine)
+        MRUWarmup(_data(per_core=streams)).prepare(h, 3)
+        for core in range(8):
+            assert h.directory.owner(core * 10_000) == core
+            assert h.directory.owner(core * 10_000 + n - 1) == core
+
+    def test_dirty_window_is_per_socket(self):
+        """A half-populated socket keeps its wider per-writer share: the
+        window divides each socket's LLC by the streams mapped to *that*
+        socket, not by a machine-wide stream count."""
+        machine = tiny_machine(num_sockets=2)  # 4 cores/socket, 512-line L3s
+        llc = machine.l3.num_lines
+        # Six active streams: cores 0-3 fill socket 0 (4 writers), cores
+        # 4-5 leave socket 1 half-populated (2 writers -> window llc/2).
+        n1 = llc // 2
+        streams = tuple(
+            tuple((core * 10_000 + i, True) for i in range(
+                llc // 4 if core < 4 else n1
+            ))
+            for core in range(6)
+        )
+        h = MemoryHierarchy(machine)
+        MRUWarmup(_data(per_core=streams)).prepare(h, 3)
+        # Socket 1's two streams fill its L3 exactly; with the per-socket
+        # window every write is recent enough to stay dirty.  A
+        # machine-wide 6-stream (clamped to 4) window would have replayed
+        # each stream's older half clean.
+        for core in (4, 5):
+            assert h.directory.owner(core * 10_000) == core
+            assert h.directory.owner(core * 10_000 + n1 - 1) == core
+
+    def test_prefetch_suppressed_during_replay(self):
+        """Replay is checkpoint reconstruction: a prefetching backend
+        must install exactly the captured lines, not speculative
+        neighbors that would evict captured state."""
+        from repro.mem import NextLinePrefetchHierarchy
+
+        h = NextLinePrefetchHierarchy(tiny_machine())
+        data = _data(per_core=(((10, False), (20, True)), (), (), ()))
+        MRUWarmup(data).prepare(h, 3)
+        assert h.l1d[0].contains(10) and h.l1d[0].contains(20)
+        assert not h.l2[0].contains(11)  # no next-line speculation
+        assert not h.l2[0].contains(21)
+        assert h.snapshot().prefetches == 0
+        # The demand path prefetches again after replay.
+        h.access(0, 100, False)
+        assert h.l2[0].contains(101)
+        assert h.snapshot().prefetches == 1
+
     def test_multi_core_round_robin(self):
         h = MemoryHierarchy(tiny_machine())
         data = _data(per_core=(

@@ -34,6 +34,26 @@ class TestRegistry:
         with pytest.raises(WorkloadError):
             get_workload("npb-nope", 4)
 
+    def test_unknown_name_message_distinguishes_suites(self):
+        """Regression: the error must not advertise paper-excluded
+        workloads (npb-ua) as part of the paper suite."""
+        with pytest.raises(WorkloadError) as exc:
+            get_workload("npb-nope", 4)
+        message = str(exc.value)
+        assert f"paper suite: {sorted(WORKLOAD_NAMES)}" in message
+        assert "extension workloads" in message
+        assert "'npb-ua'" in message.split("extension workloads")[1]
+        assert "npb-ua" not in message.split("extension workloads")[0]
+
+    def test_registry_superset_of_paper_names(self):
+        """npb-ua is registered (it exercises the region filter) but is
+        deliberately not a WORKLOAD_NAMES member (paper exclusion)."""
+        from repro.workloads import _REGISTRY
+
+        assert set(WORKLOAD_NAMES) < set(_REGISTRY)
+        assert set(_REGISTRY) - set(WORKLOAD_NAMES) == {"npb-ua"}
+        assert get_workload("npb-ua", 4, scale=SMALL).name == "npb-ua"
+
     def test_invalid_threads(self):
         with pytest.raises(WorkloadError):
             get_workload("npb-ft", 0)
