@@ -9,6 +9,8 @@ for the user guide):
 * ``repro sweep`` — the cross-architecture transfer sweep (machines ×
   workloads matrix over the machine registry);
 * ``repro machines`` — list the machine registry;
+* ``repro trace`` — record, replay, inspect, and fuzz ``.rpt`` program
+  traces (see ``docs/trace-format.md``);
 * ``repro bench`` — run the pytest benchmark harness (perf + figures)
   with the environment knobs set from flags;
 * ``repro clean`` — delete the artifact store.
@@ -24,7 +26,7 @@ import os
 import pathlib
 import sys
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.experiments import battery
 from repro.machines import machine_summary
 from repro.store import ArtifactStore
@@ -97,6 +99,86 @@ def build_parser() -> argparse.ArgumentParser:
     machines_p.add_argument(
         "--fingerprints", action="store_true",
         help="include each machine's artifact-store fingerprint",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="record, replay, inspect, and fuzz .rpt traces"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    record_p = trace_sub.add_parser(
+        "record", help="snapshot a workload's trace into a .rpt file"
+    )
+    record_p.add_argument(
+        "workload", help="workload name (registry, fuzz-<seed>, or "
+                         "trace:<path> to re-record a replay)",
+    )
+    record_p.add_argument(
+        "--threads", type=int, default=None,
+        help="thread count to record (default 8; for a trace:<path> "
+             "input, the recording's own thread count)",
+    )
+    record_p.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale factor (default 1.0; trace:<path> inputs "
+             "always keep their recorded scale)",
+    )
+    record_p.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="output path (default <name>-<threads>t-<scale>.rpt)",
+    )
+    record_p.add_argument(
+        "--store", action="store_true",
+        help="also copy the trace into the artifact store (content-keyed)",
+    )
+
+    replay_p = trace_sub.add_parser(
+        "replay", help="replay a .rpt trace through the profiler/simulator"
+    )
+    replay_p.add_argument("path", type=pathlib.Path, help="the .rpt file")
+    replay_p.add_argument(
+        "--machine", type=str, default=None,
+        help="registry machine to simulate on (default: the evaluation "
+             "machine matching the recorded thread count)",
+    )
+    replay_p.add_argument(
+        "--full", action="store_true",
+        help="also run the detailed full simulation (not just profiling)",
+    )
+    replay_p.add_argument(
+        "--verify", action="store_true",
+        help="regenerate the original workload and assert the replay is "
+             "bit-identical (profiles and detailed run)",
+    )
+
+    inspect_p = trace_sub.add_parser(
+        "inspect", help="validate a .rpt file and print its metadata"
+    )
+    inspect_p.add_argument("path", type=pathlib.Path, help="the .rpt file")
+    inspect_p.add_argument(
+        "--chunks", action="store_true",
+        help="also list per-region chunk sizes and checksums",
+    )
+
+    fuzz_p = trace_sub.add_parser(
+        "fuzz", help="emit a seeded randomized scenario as a .rpt trace"
+    )
+    fuzz_p.add_argument("seed", type=int, help="scenario seed (>= 0)")
+    fuzz_p.add_argument(
+        "--threads", type=int, default=8,
+        help="thread count to record (default 8)",
+    )
+    fuzz_p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0)",
+    )
+    fuzz_p.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="output path (default fuzz-<seed>-<threads>t-<scale>.rpt)",
+    )
+    fuzz_p.add_argument(
+        "--store", action="store_true",
+        help="also copy the trace into the artifact store (content-keyed)",
     )
 
     bench_p = sub.add_parser(
@@ -175,18 +257,25 @@ def cmd_sweep(
     """``repro sweep``: the machines × workloads transfer-error matrix."""
     runner = _runner_or_error(args, parser)
     if args.workloads:
-        from repro.workloads import WORKLOAD_NAMES, registered_workloads
+        from repro.workloads import (
+            WORKLOAD_NAMES,
+            is_dynamic_workload,
+            registered_workloads,
+        )
 
         selected = tuple(
             name.strip() for name in args.workloads.split(",") if name.strip()
         )
         known = registered_workloads()
-        unknown = [w for w in selected if w not in known]
+        unknown = [
+            w for w in selected if w not in known and not is_dynamic_workload(w)
+        ]
         if unknown:
             extensions = sorted(set(known) - set(WORKLOAD_NAMES))
             parser.error(
                 f"unknown workloads {unknown}; paper suite: "
-                f"{sorted(WORKLOAD_NAMES)}; extension workloads: {extensions}"
+                f"{sorted(WORKLOAD_NAMES)}; extension workloads: "
+                f"{extensions}; dynamic names: fuzz-<seed>, trace:<path>"
             )
         runner.benchmarks = selected
 
@@ -223,6 +312,201 @@ def cmd_machines(
         row.append(r["description"])
     print(format_table(headers, cells, title="Machine registry"))
     return 0
+
+
+def _default_trace_out(name: str, threads: int, scale: float) -> pathlib.Path:
+    """Default ``.rpt`` path for a recording (safe filename)."""
+    safe = name.replace(":", "_").replace("/", "_")
+    return pathlib.Path(f"{safe}-{threads}t-{scale:g}.rpt")
+
+
+def _record_workload(name: str, threads: int | None, scale: float | None,
+                     out: pathlib.Path | None, to_store: bool) -> int:
+    """Shared implementation of ``trace record`` and ``trace fuzz``.
+
+    ``threads``/``scale`` of ``None`` mean "the default": 8 / 1.0 for
+    generated workloads, the recording's own coordinates for
+    ``trace:<path>`` inputs (a re-record inherits what was recorded).
+    """
+    from repro.trace.capture import read_file_crc, record_trace, store_trace
+    from repro.workloads import TRACE_NAME_PREFIX, get_workload
+    from repro.workloads.replay import ReplayWorkload
+
+    if name.startswith(TRACE_NAME_PREFIX):
+        # Direct construction so an *explicitly typed* --threads/--scale
+        # that contradicts the recording errors loudly instead of being
+        # silently ignored; omitted flags inherit the recording.
+        workload = ReplayWorkload(
+            name[len(TRACE_NAME_PREFIX):],
+            num_threads=threads, scale=scale,
+        )
+    else:
+        workload = get_workload(
+            name, 8 if threads is None else threads,
+            1.0 if scale is None else scale,
+        )
+    path = out if out is not None else _default_trace_out(
+        name, workload.num_threads, workload.scale
+    )
+    # Recording consumes each region exactly once — memoizing them would
+    # hold the whole trace in memory for nothing.
+    workload.disable_trace_cache()
+    record_trace(workload, path)
+    print(
+        f"recorded {workload.name}: {workload.num_regions} regions x "
+        f"{workload.num_threads} threads -> {path} "
+        f"({path.stat().st_size} bytes, crc {read_file_crc(path):08x})"
+    )
+    if to_store:
+        stored = store_trace(ArtifactStore(), path)
+        if stored is None:
+            print("artifact store is disabled (REPRO_STORE=0); not stored")
+        else:
+            print(f"stored as {stored}")
+    return 0
+
+
+def cmd_trace_record(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace record``: snapshot a workload's trace to disk."""
+    return _record_workload(
+        args.workload, args.threads, args.scale, args.out, args.store
+    )
+
+
+def cmd_trace_fuzz(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace fuzz``: record a seeded randomized scenario."""
+    from repro.trace.generators import ScenarioFuzzer
+
+    fuzzer = ScenarioFuzzer(args.seed)
+    spec = fuzzer.spec()
+    print(
+        f"scenario {fuzzer.name}: {len(spec.phases)} phases "
+        f"({', '.join(p.pattern for p in spec.phases)}), "
+        f"{len(spec.schedule)} regions"
+    )
+    return _record_workload(
+        fuzzer.name, args.threads, args.scale, args.out, args.store
+    )
+
+
+def _replay_machine(name: str | None, num_threads: int):
+    """Resolve the (scaled) machine a replay simulates on."""
+    from repro.experiments.common import sweep_machine
+    from repro.machines import machine_names
+
+    if name is None:
+        name = "table1-8core" if num_threads <= 8 else "table1-32core"
+    if name not in machine_names():
+        raise ConfigError(
+            f"unknown machine {name!r}; known: {list(machine_names())}"
+        )
+    machine = sweep_machine(name)
+    if machine.num_cores < num_threads:
+        raise ConfigError(
+            f"machine {name!r} has {machine.num_cores} cores but the trace "
+            f"was recorded with {num_threads} threads; pick a machine with "
+            f"at least {num_threads} cores (see `repro machines`)"
+        )
+    return machine
+
+
+def cmd_trace_replay(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace replay``: drive a recorded trace through the pipeline."""
+    from repro.core.pipeline import BarrierPointPipeline
+    from repro.profiling.profiler import profiles_digest
+    from repro.workloads import get_workload
+    from repro.workloads.replay import ReplayWorkload
+
+    replay = ReplayWorkload(args.path)
+    machine = _replay_machine(args.machine, replay.num_threads)
+    pipe = BarrierPointPipeline(machine)
+    profiles = pipe.profile(replay)
+    print(
+        f"replayed {replay.name} from {args.path}: "
+        f"{replay.num_regions} regions x {replay.num_threads} threads, "
+        f"{sum(p.instructions for p in profiles)} instructions "
+        f"on {machine.name}"
+    )
+    print(f"profile digest: {profiles_digest(profiles)}")
+    full = None
+    if args.full or args.verify:
+        full = pipe.full_run(replay)
+        app = full.app
+        print(
+            f"full run: {app.cycles:.0f} cycles, "
+            f"IPC {app.instructions / app.cycles:.3f}"
+        )
+    if args.verify:
+        fresh = get_workload(replay.name, replay.num_threads, replay.scale)
+        fresh_profiles = pipe.profile(fresh)
+        if profiles_digest(fresh_profiles) != profiles_digest(profiles):
+            print("VERIFY FAILED: replayed profiles differ from fresh "
+                  "generation", file=sys.stderr)
+            return 1
+        fresh_full = pipe.full_run(fresh)
+        for a, b in zip(fresh_full.regions, full.regions):
+            if a.to_state() != b.to_state():
+                print(
+                    f"VERIFY FAILED: region {a.region_index} detailed "
+                    f"metrics differ between replay and fresh generation",
+                    file=sys.stderr,
+                )
+                return 1
+        print(
+            f"verify OK: replay is bit-identical to fresh generation "
+            f"({len(profiles)} regions, {machine.name})"
+        )
+    return 0
+
+
+def cmd_trace_inspect(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace inspect``: validate a trace and print its metadata."""
+    from repro.trace.capture import trace_summary, validate_trace
+
+    reader = validate_trace(args.path)
+    try:
+        info = trace_summary(reader)
+        rows = [[k, str(info[k])] for k in (
+            "path", "file_bytes", "version", "workload", "input_size",
+            "scale", "num_threads", "num_regions", "num_blocks",
+            "chunk_payload_bytes", "file_crc", "fingerprint",
+            "code_fingerprint",
+        )]
+        print(format_table(["field", "value"], rows,
+                           title="Trace (all checksums verified)"))
+        if args.chunks:
+            chunk_rows = [
+                [str(region), str(length), f"{crc:08x}"]
+                for region, length, crc in reader.iter_chunk_info()
+            ]
+            print(format_table(
+                ["region", "payload bytes", "crc32"], chunk_rows,
+                title="Chunks",
+            ))
+    finally:
+        reader.close()
+    return 0
+
+
+TRACE_COMMANDS = {
+    "record": cmd_trace_record,
+    "replay": cmd_trace_replay,
+    "inspect": cmd_trace_inspect,
+    "fuzz": cmd_trace_fuzz,
+}
+
+
+def cmd_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``repro trace``: dispatch to the trace subcommands."""
+    return TRACE_COMMANDS[args.trace_command](args, parser)
 
 
 def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -272,6 +556,7 @@ COMMANDS = {
     "figures": cmd_figures,
     "sweep": cmd_sweep,
     "machines": cmd_machines,
+    "trace": cmd_trace,
     "bench": cmd_bench,
     "clean": cmd_clean,
 }
@@ -279,6 +564,9 @@ COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (the ``repro`` console script).
+
+    Library errors (bad traces, unknown workloads, machine mismatches)
+    are reported on stderr with exit code 1 instead of a traceback.
 
     Args:
         argv: Argument list (default ``sys.argv[1:]``).
@@ -290,7 +578,18 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
-    return COMMANDS[args.command](args, parser)
+    try:
+        return COMMANDS[args.command](args, parser)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro ... | head`); exit quietly
+        # instead of tracebacking.  Redirect stdout to devnull so the
+        # interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

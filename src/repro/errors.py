@@ -24,6 +24,15 @@ class SimulationError(ReproError):
     """The detailed simulator was driven into an invalid state."""
 
 
+class TraceFormatError(ReproError):
+    """A recorded trace file is malformed, corrupted, or unsupported.
+
+    Raised loudly — a trace that fails its magic, version, or checksum
+    validation must never be silently replayed as garbage.  The artifact
+    store treats this error as a cache miss.
+    """
+
+
 class ClusteringError(ReproError):
     """Clustering inputs are degenerate (empty, mismatched, non-finite)."""
 

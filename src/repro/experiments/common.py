@@ -89,6 +89,24 @@ def _default_workers() -> int:
     return int(os.environ.get("REPRO_WORKERS", "0"))
 
 
+def _workload_identity(name: str) -> str:
+    """The store-key identity of a workload name.
+
+    Registry and fuzzer names identify their traces by construction (the
+    code fingerprint covers generator changes).  Trace-backed names
+    (``trace:<path>``) identify by the trace file's *content* fingerprint
+    instead of its path, so moving or re-recording a trace behaves
+    correctly: same bytes hit, different bytes miss.
+    """
+    from repro.workloads import TRACE_NAME_PREFIX
+
+    if name.startswith(TRACE_NAME_PREFIX):
+        from repro.trace.capture import trace_fingerprint
+
+        return f"trace:{trace_fingerprint(name[len(TRACE_NAME_PREFIX):])}"
+    return name
+
+
 def _pair_key(
     scale: float, name: str, num_threads: int, machine: str | None = None
 ) -> str:
@@ -100,7 +118,7 @@ def _pair_key(
     or full run is a deterministic function of.
     """
     return ArtifactStore.derive_key(
-        workload=name,
+        workload=_workload_identity(name),
         threads=num_threads,
         scale=scale,
         machine=_resolve_machine(num_threads, machine).fingerprint(),
@@ -184,7 +202,7 @@ class ExperimentRunner:
         """
         return ArtifactStore.derive_key(
             scale=self.scale,
-            benchmarks=list(self.benchmarks),
+            benchmarks=[_workload_identity(b) for b in self.benchmarks],
             simpoint=self.simpoint.fingerprint(),
         )
 

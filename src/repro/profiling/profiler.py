@@ -13,6 +13,7 @@ warmup-capture run.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,6 +82,33 @@ class RegionProfile:
             bbv=np.asarray(state["bbv"]),
             ldv=np.asarray(state["ldv"]),
         )
+
+
+def profiles_digest(profiles: list[RegionProfile]) -> str:
+    """Order-sensitive content digest of a profile list.
+
+    Covers every region's identity, instruction counts, and the raw BBV
+    and LDV array bytes, so two digests match exactly when the profiles
+    are bit-identical — the check ``repro trace replay --verify`` and the
+    conformance tests print/compare.
+
+    Args:
+        profiles: Region profiles in program order.
+
+    Returns:
+        A short hex digest.
+    """
+    digest = hashlib.sha256()
+    for p in profiles:
+        digest.update(
+            f"{p.region_index}|{p.phase}|{p.instructions}|"
+            f"{','.join(map(str, p.per_thread_instructions))}|"
+            f"{p.bbv.dtype}{p.bbv.shape}|{p.ldv.dtype}{p.ldv.shape}|"
+            .encode()
+        )
+        digest.update(np.ascontiguousarray(p.bbv).tobytes())
+        digest.update(np.ascontiguousarray(p.ldv).tobytes())
+    return digest.hexdigest()[:16]
 
 
 class _LdvBatcher:

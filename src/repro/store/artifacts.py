@@ -32,6 +32,7 @@ import hashlib
 import os
 import pathlib
 import pickle
+import shutil
 import tempfile
 
 from repro.store.fingerprint import config_fingerprint
@@ -98,6 +99,24 @@ class ArtifactStore:
         """Filesystem path of the artifact ``(kind, key)``."""
         return self.root / kind / f"{key}.pkl"
 
+    def path_for_file(
+        self, kind: str, key: str, suffix: str = ".rpt"
+    ) -> pathlib.Path:
+        """Filesystem path of a raw file artifact ``(kind, key)``.
+
+        File artifacts (recorded traces) keep their native format — with
+        its own integrity checking — instead of the pickled envelope.
+
+        Args:
+            kind: Artifact namespace (``"traces"``, ...).
+            key: Key from :meth:`derive_key`.
+            suffix: File extension, including the dot.
+
+        Returns:
+            The artifact's path.
+        """
+        return self.root / kind / f"{key}{suffix}"
+
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
@@ -137,15 +156,30 @@ class ArtifactStore:
         if not self.enabled:
             return None
         path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         body = pickle.dumps((payload,), protocol=4)
         blob = _MAGIC + hashlib.sha256(body).digest() + body
+        self._atomic_write(path, key, lambda handle: handle.write(blob))
+        return path
+
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, key: str, writer) -> None:
+        """Write an artifact file atomically (temp file + ``os.replace``).
+
+        Shared by :meth:`put` and :meth:`put_file` so the
+        concurrent-writer guarantees stay in one place.
+
+        Args:
+            path: Final artifact path (parent dirs are created).
+            key: Artifact key (used for the temp-file prefix).
+            writer: Callable receiving the open binary file object.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key}.", suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
+                writer(handle)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -153,6 +187,77 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+
+    def put_file(
+        self, kind: str, key: str, source: str | os.PathLike,
+        suffix: str = ".rpt",
+    ) -> pathlib.Path | None:
+        """Persist a raw file artifact atomically (copy into the store).
+
+        Unlike :meth:`put`, the file is stored byte-for-byte in its native
+        format; validation on retrieval is delegated to the caller's
+        ``validate`` callback (the format's own checksums).
+
+        Args:
+            kind: Artifact namespace.
+            key: Key from :meth:`derive_key`.
+            source: Path of the file to copy in.
+            suffix: Stored file extension, including the dot.
+
+        Returns:
+            The artifact's path, or ``None`` when the store is disabled.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for_file(kind, key, suffix)
+
+        def copy_source(handle) -> None:
+            """Stream ``source``'s bytes into the open artifact file."""
+            with open(source, "rb") as src:
+                shutil.copyfileobj(src, handle)
+
+        self._atomic_write(path, key, copy_source)
+        return path
+
+    def get_file(
+        self, kind: str, key: str, suffix: str = ".rpt", validate=None,
+    ) -> pathlib.Path | None:
+        """Look up a raw file artifact, or ``None`` on miss or corruption.
+
+        Args:
+            kind: Artifact namespace.
+            key: Key from :meth:`derive_key`.
+            suffix: Stored file extension, including the dot.
+            validate: Optional callable taking the path; it must raise
+                (any exception) for an invalid file.  A failing file is
+                counted as a miss and unlinked, exactly like a corrupt
+                pickled artifact — e.g. pass
+                :func:`repro.trace.capture.validate_trace` so a trace
+                with a corrupt chunk reads as a miss, never as garbage.
+
+        Returns:
+            The artifact's path, or ``None``.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for_file(kind, key, suffix)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        if validate is not None:
+            try:
+                result = validate(path)
+            except Exception:
+                self.misses += 1
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup is fine
+                    pass
+                return None
+            close = getattr(result, "close", None)
+            if callable(close):
+                close()
+        self.hits += 1
         return path
 
     def get_or_compute(self, kind: str, key: str, compute) -> object:

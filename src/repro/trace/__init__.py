@@ -9,6 +9,15 @@ profiler, the warmup capture pass and the detailed simulator all observe
 identical executions — the property the BarrierPoint methodology relies on.
 """
 
+from repro.trace.capture import (
+    FORMAT_VERSION,
+    TraceReader,
+    inspect_trace,
+    record_trace,
+    trace_fingerprint,
+    validate_trace,
+)
+from repro.trace.generators import ScenarioFuzzer
 from repro.trace.program import (
     BasicBlock,
     BlockExec,
@@ -21,9 +30,16 @@ from repro.trace.rng import stream_rng, stream_seed
 __all__ = [
     "BasicBlock",
     "BlockExec",
+    "FORMAT_VERSION",
     "RegionTrace",
+    "ScenarioFuzzer",
     "ThreadTrace",
+    "TraceReader",
     "concat_refs",
+    "inspect_trace",
+    "record_trace",
     "stream_rng",
     "stream_seed",
+    "trace_fingerprint",
+    "validate_trace",
 ]

@@ -14,9 +14,12 @@ reuse-distance or warmup behaviour.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.trace.rng import stream_rng
 
 
 def _check_positive(**kwargs: int) -> None:
@@ -187,3 +190,154 @@ def pointer_chase(
     to blocks with ``mlp == 1`` to model the lost memory-level parallelism.
     """
     return random_gather(rng, base, footprint_lines, count, write_fraction=0.0)
+
+
+@dataclass(frozen=True)
+class ScenarioFuzzer:
+    """Seeded generator of randomized barrier-structured scenarios.
+
+    Every knob of a scenario is drawn from a counter-based stream keyed on
+    ``seed`` (:mod:`repro.trace.rng`), so ``ScenarioFuzzer(seed)`` is a
+    pure function: the same seed yields the same
+    :class:`~repro.workloads.synthetic.SyntheticSpec` — and therefore the
+    same traces — on every machine and process.  Scenarios are registered
+    like workloads: ``get_workload("fuzz-<seed>", ...)`` resolves here,
+    which makes them recordable/replayable through ``repro trace``.
+
+    Randomized dimensions (the bounds are the constructor knobs):
+
+    * **barrier-count jitter** — the region count of the schedule;
+    * **phase mix and shifts** — how many phases, which access pattern
+      each uses, and a per-iteration rotation of the phase order;
+    * **thread imbalance** — a per-phase skew of per-thread work;
+    * **shared/private mix** — whether a phase's threads partition its
+      array or contend on the whole footprint.
+    """
+
+    seed: int
+    min_phases: int = 2
+    max_phases: int = 4
+    min_regions: int = 8
+    max_regions: int = 40
+    max_footprint_lines: int = 4096
+    max_refs_per_thread: int = 3000
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise WorkloadError(f"fuzzer seed must be >= 0, got {self.seed}")
+        if not 1 <= self.min_phases <= self.max_phases:
+            raise WorkloadError("fuzzer phase bounds must satisfy 1 <= min <= max")
+        if not 1 <= self.min_regions <= self.max_regions:
+            raise WorkloadError("fuzzer region bounds must satisfy 1 <= min <= max")
+
+    @property
+    def name(self) -> str:
+        """The workload-registry name of this scenario (``fuzz-<seed>``)."""
+        return f"fuzz-{self.seed}"
+
+    def _rng(self, *parts: object) -> np.random.Generator:
+        """A deterministic stream scoped to this scenario plus ``parts``."""
+        return stream_rng("scenario-fuzzer", self.seed, *parts)
+
+    def spec(self):
+        """Draw the scenario's :class:`~repro.workloads.synthetic.SyntheticSpec`."""
+        from repro.workloads.synthetic import PATTERNS, PhaseSpec, SyntheticSpec
+
+        rng = self._rng("spec")
+        num_phases = int(rng.integers(self.min_phases, self.max_phases + 1))
+        phases = []
+        for p in range(num_phases):
+            pattern = PATTERNS[int(rng.integers(0, len(PATTERNS)))]
+            phases.append(PhaseSpec(
+                name=f"ph{p}_{pattern}",
+                pattern=pattern,
+                footprint_lines=int(rng.integers(
+                    64, self.max_footprint_lines + 1
+                )),
+                refs_per_thread=int(rng.integers(
+                    100, self.max_refs_per_thread + 1
+                )),
+                instructions_per_ref=int(rng.integers(2, 9)),
+                mlp=float(rng.choice((1.0, 2.0, 4.0))),
+                write_fraction=float(rng.uniform(0.0, 0.5)),
+                shared=bool(rng.random() < 0.3),
+                length_jitter=float(rng.uniform(0.0, 0.3)),
+                imbalance=float(rng.uniform(0.0, 0.6)),
+            ))
+        num_regions = int(rng.integers(self.min_regions, self.max_regions + 1))
+        schedule = []
+        names = [p.name for p in phases]
+        for region in range(num_regions):
+            iteration = region // num_phases
+            # Phase shift: each loop trip rotates the phase order, so
+            # region index and phase identity decorrelate across seeds.
+            shift = int(rng.integers(0, num_phases))
+            schedule.append((
+                names[(region + shift) % num_phases], iteration
+            ))
+        return SyntheticSpec(
+            name=self.name,
+            phases=tuple(phases),
+            schedule=tuple(schedule),
+            input_size="fuzz",
+        )
+
+    def workload(self, num_threads: int, scale: float = 1.0):
+        """Instantiate the scenario as a runnable workload.
+
+        Args:
+            num_threads: Thread count (one per simulated core).
+            scale: Footprint/work scale factor.
+
+        Returns:
+            A :class:`~repro.workloads.synthetic.SyntheticWorkload`.
+        """
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        return SyntheticWorkload(
+            self.spec(), num_threads=num_threads, scale=scale
+        )
+
+    def stream(
+        self, length: int, footprint_lines: int = 512, tag: str = "stream"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A raw seeded ``(lines, writes)`` reference stream.
+
+        A convenience for property tests that want adversarial access
+        streams without building a whole workload: mixes sweeps, gathers,
+        and scatters drawn from the scenario's stream.
+
+        Args:
+            length: Minimum number of references to produce.
+            footprint_lines: Address window the stream touches.
+            tag: Extra stream-key part (distinct tags → independent streams).
+
+        Returns:
+            ``(lines, writes)`` with at least ``length`` references.
+        """
+        _check_positive(length=length, footprint_lines=footprint_lines)
+        rng = self._rng("stream", tag, length, footprint_lines)
+        chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        produced = 0
+        while produced < length:
+            kind = int(rng.integers(0, 3))
+            want = int(rng.integers(1, max(2, length // 4)))
+            if kind == 0:
+                n = min(want, footprint_lines)
+                chunks.append(strided_sweep(
+                    int(rng.integers(0, footprint_lines)), max(n, 1),
+                    repeat=int(rng.integers(1, 4)),
+                ))
+            elif kind == 1:
+                chunks.append(random_gather(
+                    rng, 0, footprint_lines, want,
+                    write_fraction=float(rng.uniform(0.0, 0.5)),
+                ))
+            else:
+                n_keys = max(1, want // 3)
+                chunks.append(histogram_scatter(
+                    rng, 0, n_keys, footprint_lines // 2,
+                    max(1, footprint_lines // 2),
+                ))
+            produced += chunks[-1][0].size
+        return concat(*chunks)

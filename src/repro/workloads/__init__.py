@@ -4,12 +4,26 @@ The registry maps the paper's benchmark names (``npb-bt`` ... ``npb-sp``,
 ``parsec-bodytrack``) to workload classes; :func:`get_workload` is the main
 entry point.  All eight reproduce the dynamic barrier counts of Fig. 1 and
 the phase structure discussed in section V of the paper.
+
+Beyond the static registry, two dynamic name families resolve here too:
+
+* ``fuzz-<seed>`` — a :class:`~repro.trace.generators.ScenarioFuzzer`
+  scenario (seeded randomized barrier structure), and
+* ``trace:<path>`` — a :class:`~repro.workloads.replay.ReplayWorkload`
+  replaying a recorded ``.rpt`` trace bit-identically.
+
+Both behave like registered workloads everywhere a workload name is
+accepted (the experiment runner, the sweep, ``repro trace record``).
 """
 
 from __future__ import annotations
 
+import re
+
 from repro.errors import WorkloadError
+from repro.trace.generators import ScenarioFuzzer
 from repro.workloads.base import PhaseInstance, Workload
+from repro.workloads.replay import ReplayWorkload
 from repro.workloads.npb_bt import NpbBT
 from repro.workloads.npb_cg import NpbCG
 from repro.workloads.npb_ft import NpbFT
@@ -54,8 +68,58 @@ def registered_workloads() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+#: Name pattern of fuzzer scenarios accepted by :func:`get_workload`.
+FUZZ_NAME_RE = re.compile(r"^fuzz-(\d+)$")
+
+#: Name prefix of trace-replay workloads accepted by :func:`get_workload`.
+TRACE_NAME_PREFIX = "trace:"
+
+
+def is_dynamic_workload(name: str) -> bool:
+    """Whether a name resolves dynamically (``fuzz-<seed>``/``trace:<path>``).
+
+    Args:
+        name: A workload name.
+
+    Returns:
+        True for fuzzer scenarios and trace replays, False for registry
+        (class-backed) workloads.
+    """
+    return bool(FUZZ_NAME_RE.match(name)) or name.startswith(TRACE_NAME_PREFIX)
+
+
 def get_workload(name: str, num_threads: int, scale: float = 1.0) -> Workload:
-    """Instantiate a registered workload by its paper-facing name."""
+    """Instantiate a workload by name.
+
+    Accepts the static registry names (paper suite plus extensions), the
+    ``fuzz-<seed>`` scenario family, and ``trace:<path>`` replays of
+    recorded traces.  A trace pins its own coordinates: ``num_threads``
+    must match the recording (a replay cannot re-thread), while the
+    recorded scale is inherited — the ``scale`` argument is ignored for
+    ``trace:`` names, so trace-backed workloads plug into scale-carrying
+    callers (the experiment runner, the sweep) without re-recording.
+
+    Args:
+        name: Workload name.
+        num_threads: Thread count (one per simulated core).
+        scale: Footprint/work scale factor (ignored for ``trace:`` names).
+
+    Returns:
+        The instantiated workload.
+
+    Raises:
+        WorkloadError: For unknown names or a trace thread-count mismatch.
+    """
+    fuzz = FUZZ_NAME_RE.match(name)
+    if fuzz:
+        return ScenarioFuzzer(int(fuzz.group(1))).workload(
+            num_threads=num_threads, scale=scale
+        )
+    if name.startswith(TRACE_NAME_PREFIX):
+        return ReplayWorkload(
+            name[len(TRACE_NAME_PREFIX):],
+            num_threads=num_threads,
+        )
     try:
         cls = _REGISTRY[name]
     except KeyError:
@@ -63,12 +127,14 @@ def get_workload(name: str, num_threads: int, scale: float = 1.0) -> Workload:
         raise WorkloadError(
             f"unknown workload {name!r}; paper suite: "
             f"{sorted(WORKLOAD_NAMES)}; extension workloads (not in the "
-            f"paper's figures): {extensions}"
+            f"paper's figures): {extensions}; dynamic names: 'fuzz-<seed>' "
+            f"(scenario fuzzer) and 'trace:<path>' (recorded-trace replay)"
         ) from None
     return cls(num_threads=num_threads, scale=scale)
 
 
 __all__ = [
+    "FUZZ_NAME_RE",
     "NpbBT",
     "NpbCG",
     "NpbFT",
@@ -80,10 +146,14 @@ __all__ = [
     "ParsecBodytrack",
     "PhaseInstance",
     "PhaseSpec",
+    "ReplayWorkload",
+    "ScenarioFuzzer",
     "SyntheticSpec",
     "SyntheticWorkload",
+    "TRACE_NAME_PREFIX",
     "WORKLOAD_NAMES",
     "Workload",
     "get_workload",
+    "is_dynamic_workload",
     "registered_workloads",
 ]

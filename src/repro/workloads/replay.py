@@ -1,0 +1,126 @@
+"""Replay of recorded ``.rpt`` traces through the workload interface.
+
+:class:`ReplayWorkload` makes a recorded trace (see
+:mod:`repro.trace.capture`) indistinguishable from the workload that
+produced it: it reconstructs the static basic-block table and the region
+schedule from the trace metadata and serves every region's block
+executions from the file, so the profiler, the detailed simulator, the
+warmup capture, and every hierarchy backend observe bit-identical
+executions — the differential-conformance property
+``tests/test_trace_replay.py`` asserts.
+
+Replay never materializes the full trace: the base class's region memo
+is disabled and the reader keeps only a small LRU window of decoded
+regions, so peak memory is bounded by a few regions regardless of trace
+size.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.errors import WorkloadError
+from repro.trace.capture import TraceReader
+from repro.trace.program import BasicBlock, BlockExec
+from repro.workloads.base import PhaseInstance, Workload
+
+
+class ReplayWorkload(Workload):
+    """A workload backed by a recorded trace file.
+
+    Parameters
+    ----------
+    path:
+        The ``.rpt`` trace file.
+    num_threads:
+        Optional expectation; must equal the recorded thread count
+        (replay cannot re-thread a trace).  ``None`` accepts whatever
+        was recorded.
+    scale:
+        Optional expectation; must equal the recorded scale.  ``None``
+        accepts whatever was recorded.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        num_threads: int | None = None,
+        scale: float | None = None,
+    ) -> None:
+        self._reader = TraceReader(path)
+        meta = self._reader.meta
+        self.name = meta["workload"]
+        self.input_size = meta.get("input_size", "")
+        self.trace_path = self._reader.path
+        if num_threads is not None and num_threads != meta["num_threads"]:
+            raise WorkloadError(
+                f"trace {str(self.trace_path)!r} was recorded with "
+                f"{meta['num_threads']} threads and cannot replay with "
+                f"{num_threads}; re-record the workload at the desired "
+                f"thread count (`repro trace record {self.name} "
+                f"--threads {num_threads}`) or run it on machines with "
+                f"{meta['num_threads']} cores (e.g. `repro sweep "
+                f"--machines ...`)"
+            )
+        if scale is not None and not math.isclose(
+            scale, meta["scale"], rel_tol=1e-12
+        ):
+            raise WorkloadError(
+                f"trace {str(self.trace_path)!r} was recorded at scale "
+                f"{meta['scale']} and cannot replay at scale {scale}; "
+                f"re-record the workload at the desired scale"
+            )
+        super().__init__(
+            num_threads=meta["num_threads"], scale=meta["scale"]
+        )
+        # Bounded-memory replay: the reader's LRU window is the only
+        # region cache (REPRO_TRACE_CACHE applies to *generated* traces).
+        self._cache_traces = False
+        self._trace_cache.clear()
+
+    def _build(self) -> None:
+        """Reconstruct schedule and block table from the trace metadata."""
+        meta = self._reader.meta
+        for phase, iteration, param in meta["schedule"]:
+            self._schedule.append(PhaseInstance(phase, iteration, param))
+        for block in self._reader.blocks:
+            if block.name in self._blocks:
+                raise WorkloadError(
+                    f"trace {str(self.trace_path)!r} declares block "
+                    f"{block.name!r} twice"
+                )
+            self._blocks[block.name] = block
+        by_id = sorted(self._blocks.values(), key=lambda b: b.bb_id)
+        if [b.bb_id for b in by_id] != list(range(len(by_id))):
+            raise WorkloadError(
+                f"trace {str(self.trace_path)!r} block ids are not dense"
+            )
+        self._block_table: tuple[BasicBlock, ...] = tuple(by_id)
+
+    def _build_thread(
+        self, inst: PhaseInstance, region_index: int, thread_id: int
+    ) -> list[BlockExec]:
+        """Serve one thread's block executions from the recorded chunk."""
+        execs = self._reader.region_execs(region_index)[thread_id]
+        table = self._block_table
+        out = []
+        for bb_id, count, lines, writes in execs:
+            if bb_id >= len(table):
+                raise WorkloadError(
+                    f"trace {str(self.trace_path)!r} region {region_index} "
+                    f"references unknown block id {bb_id}"
+                )
+            out.append(BlockExec(table[bb_id], count=count,
+                                 lines=lines, writes=writes))
+        return out
+
+    def close(self) -> None:
+        """Close the underlying trace reader."""
+        self._reader.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplayWorkload(name={self.name!r}, threads={self.num_threads}, "
+            f"regions={self.num_regions}, path={str(self.trace_path)!r})"
+        )

@@ -27,6 +27,10 @@ class PhaseSpec:
     ``refs_per_thread`` the number of line references each thread issues
     per region (before strong-scaling division by thread count is applied
     to the footprint), and ``pattern`` one of :data:`PATTERNS`.
+    ``imbalance`` skews per-thread work linearly across thread ids while
+    preserving the total: thread 0 gets a ``1 - imbalance`` share and the
+    last thread ``1 + imbalance`` (so 0.5 means the last thread does ~3x
+    the first's work), modelling load imbalance between barriers.
     """
 
     name: str
@@ -39,6 +43,7 @@ class PhaseSpec:
     write_fraction: float = 0.2
     shared: bool = False
     length_jitter: float = 0.0
+    imbalance: float = 0.0
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERNS:
@@ -49,6 +54,10 @@ class PhaseSpec:
             raise WorkloadError(f"phase {self.name!r}: sizes must be positive")
         if not 0.0 <= self.length_jitter < 1.0:
             raise WorkloadError(f"phase {self.name!r}: jitter must be in [0, 1)")
+        if not 0.0 <= self.imbalance < 1.0:
+            raise WorkloadError(
+                f"phase {self.name!r}: imbalance must be in [0, 1)"
+            )
 
 
 @dataclass(frozen=True)
@@ -113,11 +122,19 @@ class SyntheticWorkload(Workload):
     ) -> list[BlockExec]:
         state = self._states[inst.phase]
         spec = state.spec
+        skew = 1.0
+        if spec.imbalance and self.num_threads > 1:
+            # Linear ramp across thread ids: thread 0 light, last heavy,
+            # averaging 1.0 so total work is imbalance-invariant.
+            skew = 1.0 + spec.imbalance * (
+                2.0 * thread_id / (self.num_threads - 1) - 1.0
+            )
         refs_target = max(1, round(
-            self._per_thread(spec.refs_per_thread * self.num_threads)
-            * self._jitter(inst.phase, inst.iteration, spec.length_jitter)
-            if spec.length_jitter else
-            self._per_thread(spec.refs_per_thread * self.num_threads)
+            (self._per_thread(spec.refs_per_thread * self.num_threads)
+             * self._jitter(inst.phase, inst.iteration, spec.length_jitter)
+             if spec.length_jitter else
+             self._per_thread(spec.refs_per_thread * self.num_threads))
+            * skew
         ))
 
         if spec.shared:

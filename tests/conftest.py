@@ -4,10 +4,39 @@ from __future__ import annotations
 
 import os
 
+import numpy as np
 import pytest
 
 from repro.config import CacheConfig, CoreConfig, MachineConfig
 from repro.workloads import get_workload
+
+
+def assert_bit_identical(a, b, path="value"):
+    """Deep bit-identity check over nested state (dicts/tuples/arrays).
+
+    Stricter than ``==``: numpy arrays must match in dtype, shape, *and*
+    raw bytes, and scalars must match in type as well as value — the
+    "byte-identical" contract the record/replay conformance battery
+    asserts.  (Plain pickle-bytes comparison is unusable here: pickle
+    memoizes shared objects, so identical values serialize differently
+    depending on object identity.)
+    """
+    assert type(a) is type(b), f"{path}: {type(a)} vs {type(b)}"
+    if isinstance(a, dict):
+        assert a.keys() == b.keys(), f"{path}: key mismatch"
+        for key in a:
+            assert_bit_identical(a[key], b[key], f"{path}[{key!r}]")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: length {len(a)} vs {len(b)}"
+        for i, (xa, xb) in enumerate(zip(a, b)):
+            assert_bit_identical(xa, xb, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype, f"{path}: dtype {a.dtype} vs {b.dtype}"
+        assert a.shape == b.shape, f"{path}: shape {a.shape} vs {b.shape}"
+        assert (np.ascontiguousarray(a).tobytes()
+                == np.ascontiguousarray(b).tobytes()), f"{path}: array bytes"
+    else:
+        assert a == b, f"{path}: {a!r} vs {b!r}"
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -228,6 +228,195 @@ def test_bench_default_targets_whole_directory(bench_sandbox):
     assert call["args"] == ["benchmarks", "-x", "-q"]
 
 
+# ---------------------------------------------------------------------------
+# CLI sweep: --help and exit codes for every subcommand
+# ---------------------------------------------------------------------------
+
+HELP_INVOCATIONS = (
+    [],
+    ["run"],
+    ["figures"],
+    ["sweep"],
+    ["machines"],
+    ["bench"],
+    ["clean"],
+    ["trace"],
+    ["trace", "record"],
+    ["trace", "replay"],
+    ["trace", "inspect"],
+    ["trace", "fuzz"],
+)
+
+
+@pytest.mark.parametrize(
+    "argv", HELP_INVOCATIONS, ids=[" ".join(a) or "root" for a in HELP_INVOCATIONS]
+)
+def test_help_smoke_every_subcommand(argv, capsys):
+    """``--help`` exits 0 and prints usage for every (sub)command."""
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main([*argv, "--help"])
+    assert excinfo.value.code == 0
+    assert "usage:" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        [],                              # missing command
+        ["not-a-command"],
+        ["trace"],                       # missing trace subcommand
+        ["trace", "not-a-subcommand"],
+        ["run", "--only", "figX"],
+        ["sweep", "--workloads", "not-a-workload"],
+        ["sweep", "--machines", "not-a-machine"],
+        ["bench", "not-a-target"],
+        ["trace", "fuzz"],               # missing seed
+        ["trace", "record"],             # missing workload
+        ["trace", "replay"],             # missing path
+    ],
+    ids=lambda argv: " ".join(argv) or "no-command",
+)
+def test_usage_errors_exit_2(argv, capsys):
+    """Argparse-level misuse exits with the conventional code 2."""
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(argv)
+    assert excinfo.value.code == 2
+    assert capsys.readouterr().err
+
+
+def test_machines_exit_zero(capsys):
+    assert cli.main(["machines"]) == 0
+    assert "table1-8core" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# The trace subcommand group
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def trace_cwd(tmp_path, monkeypatch):
+    """An isolated working directory with its own store."""
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_trace_record_replay_inspect_round_trip(trace_cwd, capsys):
+    out = trace_cwd / "is.rpt"
+    assert cli.main([
+        "trace", "record", "npb-is", "--threads", "4", "--scale", "0.1",
+        "--out", str(out),
+    ]) == 0
+    assert "recorded npb-is" in capsys.readouterr().out
+    assert out.is_file()
+
+    assert cli.main(["trace", "inspect", str(out), "--chunks"]) == 0
+    text = capsys.readouterr().out
+    assert "checksums verified" in text and "npb-is" in text
+
+    assert cli.main([
+        "trace", "replay", str(out), "--machine", "table1-8core", "--verify",
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "verify OK" in text and "profile digest" in text
+
+
+def test_trace_record_default_filename_and_store(trace_cwd, capsys):
+    assert cli.main([
+        "trace", "record", "npb-is", "--threads", "2", "--scale", "0.1",
+        "--store",
+    ]) == 0
+    text = capsys.readouterr().out
+    assert (trace_cwd / "npb-is-2t-0.1.rpt").is_file()
+    assert "stored as" in text
+
+    from repro.store import ArtifactStore
+    from repro.trace.capture import stored_trace
+
+    assert stored_trace(ArtifactStore(), "npb-is", 2, 0.1) is not None
+
+
+def test_trace_fuzz_records_scenario(trace_cwd, capsys):
+    assert cli.main([
+        "trace", "fuzz", "3", "--threads", "2", "--scale", "0.1",
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "scenario fuzz-3" in text
+    assert (trace_cwd / "fuzz-3-2t-0.1.rpt").is_file()
+
+
+def test_trace_unknown_path_exits_one_with_message(trace_cwd, capsys):
+    for sub in (["replay"], ["inspect"]):
+        assert cli.main(["trace", *sub, "missing.rpt"]) == 1
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "cannot open trace" in err
+
+
+def test_trace_version_mismatch_exits_one_with_message(trace_cwd, capsys):
+    import struct
+
+    from repro.trace.capture import FORMAT_VERSION, MAGIC
+
+    out = trace_cwd / "small.rpt"
+    assert cli.main([
+        "trace", "record", "npb-is", "--threads", "2", "--scale", "0.1",
+        "--out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    data = bytearray(out.read_bytes())
+    struct.pack_into("<H", data, len(MAGIC), FORMAT_VERSION + 1)
+    bad = trace_cwd / "future.rpt"
+    bad.write_bytes(bytes(data))
+    for sub in ("replay", "inspect"):
+        assert cli.main(["trace", sub, str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert f"version {FORMAT_VERSION + 1} is not supported" in err
+        assert "re-record" in err
+
+
+def test_trace_record_unknown_workload_exits_one(trace_cwd, capsys):
+    assert cli.main(["trace", "record", "not-a-workload"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown workload" in err and "fuzz-<seed>" in err
+
+
+def test_trace_replay_machine_errors(trace_cwd, capsys):
+    out = trace_cwd / "w.rpt"
+    assert cli.main([
+        "trace", "record", "npb-is", "--threads", "32", "--scale", "0.1",
+        "--out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    # An 8-core machine cannot replay a 32-thread trace: loud, actionable.
+    assert cli.main([
+        "trace", "replay", str(out), "--machine", "table1-8core",
+    ]) == 1
+    err = capsys.readouterr().err
+    assert "has 8 cores" in err and "32 threads" in err
+    assert "at least 32 cores" in err
+    # Unregistered machine names are rejected before any simulation.
+    assert cli.main([
+        "trace", "replay", str(out), "--machine", "table1-2core",
+    ]) == 1
+    assert "unknown machine" in capsys.readouterr().err
+
+
+def test_sweep_accepts_dynamic_workload_names(trace_cwd):
+    """`repro sweep --workloads trace:...` passes name validation."""
+    out = trace_cwd / "w8.rpt"
+    assert cli.main([
+        "trace", "record", "npb-is", "--threads", "8", "--scale", "0.1",
+        "--out", str(out),
+    ]) == 0
+    parser = argparse.ArgumentParser()
+    battery.add_runner_options(parser)
+    runner = battery.runner_from_args(parser.parse_args(["--scale", "0.1"]))
+    runner.benchmarks = (f"trace:{out}",)
+    profiles = runner.profiles(f"trace:{out}", 8)
+    assert len(profiles) == 11
+
+
 def test_workers_default_env(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "3")
     assert ExperimentRunner(scale=0.1).workers == 3

@@ -260,6 +260,62 @@ class TestHierarchyParity:
 
 
 # ---------------------------------------------------------------------------
+# Fuzzer-seeded streams: the ScenarioFuzzer drives the same parity contracts
+# ---------------------------------------------------------------------------
+
+class TestFuzzerSeededParity:
+    """The randomized-scenario generator feeds the fast-vs-seed contracts.
+
+    Unlike the hypothesis strategies above, these streams have realistic
+    structure (sweeps, gathers, scatter bursts) at realistic footprints,
+    and are reproducible from a single integer seed across platforms.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_stackdist_engines_agree_on_fuzzer_streams(self, seed):
+        from repro.trace.generators import ScenarioFuzzer
+
+        lines, _ = ScenarioFuzzer(seed).stream(4000, footprint_lines=300)
+        engine = StackDistanceEngine()
+        olken = OlkenStackProfiler()
+        # Uneven chunk splits exercise the cross-chunk continuation paths.
+        bounds = [0, 1, 17, 1000, 2500, lines.size]
+        got_chunks = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            got_chunks.append(engine.observe(lines[lo:hi]).distances)
+        fast = np.concatenate(got_chunks)
+        assert fast.tolist() == olken.observe(lines).tolist()
+        assert fast.tolist() == naive_stack_distances(lines)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_hierarchy_parity_on_fuzzer_streams(self, seed):
+        from repro.trace.generators import ScenarioFuzzer
+
+        fuzzer = ScenarioFuzzer(seed)
+        machine = tiny_machine(num_sockets=2, cores_per_socket=4)
+        fast = MemoryHierarchy(machine)
+        ref = ReferenceMemoryHierarchy(machine)
+        for core in range(8):
+            lines, writes = fuzzer.stream(
+                600, footprint_lines=700, tag=f"core{core}"
+            )
+            assert fast.access_block(core, lines, writes, 2.0) == (
+                ref.access_block(core, lines, writes, 2.0)
+            )
+        TestHierarchyParity._assert_hierarchy_state_equal(fast, ref)
+
+    @pytest.mark.parametrize("seed", [4, 9])
+    def test_fuzz_workload_profiles_match_reference(self, seed):
+        workload = get_workload(f"fuzz-{seed}", 4, scale=0.1)
+        fast = FunctionalProfiler(workload).profile()
+        ref = ReferenceFunctionalProfiler(workload).profile()
+        assert len(fast) == len(ref)
+        for a, b in zip(fast, ref):
+            assert np.array_equal(a.bbv, b.bbv)
+            assert np.array_equal(a.ldv, b.ldv)
+
+
+# ---------------------------------------------------------------------------
 # End-to-end: whole-workload profiles, full runs and warmed barrierpoints
 # ---------------------------------------------------------------------------
 

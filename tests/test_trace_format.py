@@ -1,0 +1,291 @@
+"""Unit tests for the ``.rpt`` binary trace format and its store plumbing.
+
+Covers the header/chunk/footer layout, every corruption mode (all must
+raise a loud :class:`~repro.errors.TraceFormatError`, never return
+garbage), the version policy, the scenario fuzzer's determinism, and the
+artifact store's corrupt-trace-is-a-miss behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError, WorkloadError
+from repro.store import ArtifactStore
+from repro.trace.capture import (
+    FORMAT_VERSION,
+    MAGIC,
+    TraceReader,
+    inspect_trace,
+    record_trace,
+    store_trace,
+    stored_trace,
+    trace_fingerprint,
+    validate_trace,
+)
+from repro.trace.generators import ScenarioFuzzer
+from repro.workloads import get_workload
+from repro.workloads.replay import ReplayWorkload
+from tests.conftest import assert_bit_identical
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """A small recorded npb-is trace plus its source workload."""
+    workload = get_workload("npb-is", 2, scale=0.1)
+    path = tmp_path_factory.mktemp("rpt") / "is.rpt"
+    record_trace(workload, path)
+    return workload, path
+
+
+class TestFormatRoundTrip:
+    def test_header_metadata(self, recorded):
+        workload, path = recorded
+        with TraceReader(path) as reader:
+            meta = reader.meta
+            assert meta["workload"] == workload.name
+            assert meta["num_threads"] == workload.num_threads
+            assert meta["num_regions"] == workload.num_regions
+            assert meta["scale"] == workload.scale
+            assert len(meta["schedule"]) == workload.num_regions
+            assert len(reader.blocks) == workload.num_static_blocks
+            for block in reader.blocks:
+                original = workload.block(block.name)
+                assert block == original
+
+    def test_schedule_round_trips(self, recorded):
+        workload, path = recorded
+        replay = ReplayWorkload(path)
+        for idx in range(workload.num_regions):
+            assert replay.phase_of(idx) == workload.phase_of(idx)
+        replay.close()
+
+    def test_region_streams_bit_identical(self, recorded):
+        workload, path = recorded
+        replay = ReplayWorkload(path)
+        for idx in range(workload.num_regions):
+            fresh = workload.region_trace(idx)
+            replayed = replay.region_trace(idx)
+            assert replayed.phase == fresh.phase
+            for ta, tb in zip(fresh.threads, replayed.threads):
+                assert len(ta.blocks) == len(tb.blocks)
+                for ea, eb in zip(ta.blocks, tb.blocks):
+                    assert ea.block == eb.block
+                    assert ea.count == eb.count
+                    assert_bit_identical(
+                        np.ascontiguousarray(ea.lines),
+                        np.ascontiguousarray(eb.lines),
+                    )
+                    assert np.array_equal(ea.writes, eb.writes)
+        replay.close()
+
+    def test_validate_and_inspect(self, recorded):
+        workload, path = recorded
+        validate_trace(path).close()
+        info = inspect_trace(path)
+        assert info["num_regions"] == workload.num_regions
+        assert info["version"] == FORMAT_VERSION
+        assert info["file_bytes"] == path.stat().st_size
+        assert info["fingerprint"] == trace_fingerprint(path)
+
+    def test_replay_never_materializes_full_trace(self, recorded):
+        _, path = recorded
+        replay = ReplayWorkload(path)
+        for _ in replay.iter_regions():
+            pass
+        # The base-class memo stays empty; only the reader's LRU window
+        # (a handful of regions) is resident.
+        assert replay._trace_cache == {}
+        assert len(replay._reader._window) <= 4
+        replay.close()
+
+    def test_fingerprint_tracks_content(self, recorded, tmp_path):
+        workload, path = recorded
+        other = get_workload("npb-is", 2, scale=0.2)
+        other_path = tmp_path / "other.rpt"
+        record_trace(other, other_path)
+        assert trace_fingerprint(path) != trace_fingerprint(other_path)
+
+
+def _flip_byte(path, offset, out):
+    """Copy ``path`` to ``out`` with one byte inverted."""
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    out.write_bytes(bytes(data))
+    return out
+
+
+class TestCorruptionIsLoud:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot open"):
+            TraceReader(tmp_path / "missing.rpt")
+
+    def test_bad_magic(self, recorded, tmp_path):
+        _, path = recorded
+        bad = _flip_byte(path, 0, tmp_path / "magic.rpt")
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceReader(bad)
+
+    def test_version_mismatch(self, recorded, tmp_path):
+        _, path = recorded
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, len(MAGIC), FORMAT_VERSION + 41)
+        bad = tmp_path / "future.rpt"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="version 42 is not"):
+            TraceReader(bad)
+
+    def test_metadata_corruption(self, recorded, tmp_path):
+        _, path = recorded
+        bad = _flip_byte(path, len(MAGIC) + 2 + 4 + 5, tmp_path / "meta.rpt")
+        with pytest.raises(TraceFormatError, match="metadata"):
+            TraceReader(bad)
+
+    def test_truncation(self, recorded, tmp_path):
+        _, path = recorded
+        data = path.read_bytes()
+        for cut in (4, len(data) // 2, len(data) - 3):
+            bad = tmp_path / f"cut{cut}.rpt"
+            bad.write_bytes(data[:cut])
+            with pytest.raises(TraceFormatError):
+                validate_trace(bad)
+
+    def test_chunk_bit_flip(self, recorded, tmp_path):
+        workload, path = recorded
+        # Flip a byte well inside the first chunk payload.
+        info = inspect_trace(path)
+        header_end = info["file_bytes"] - info["chunk_payload_bytes"] - 200
+        bad = _flip_byte(path, header_end + 150, tmp_path / "flip.rpt")
+        with pytest.raises(TraceFormatError, match="checksum mismatch"):
+            validate_trace(bad)
+
+    def test_trailing_garbage(self, recorded, tmp_path):
+        _, path = recorded
+        bad = tmp_path / "trailing.rpt"
+        bad.write_bytes(path.read_bytes() + b"extra")
+        with pytest.raises(TraceFormatError, match="trailing bytes"):
+            TraceReader(bad)
+
+
+class TestReplayParameterValidation:
+    def test_thread_mismatch_is_actionable(self, recorded):
+        _, path = recorded
+        with pytest.raises(WorkloadError, match="recorded with 2 threads"):
+            get_workload(f"trace:{path}", 8, 0.1)
+
+    def test_explicit_scale_mismatch_is_actionable(self, recorded):
+        _, path = recorded
+        with pytest.raises(WorkloadError, match="recorded at scale"):
+            ReplayWorkload(path, scale=0.5)
+
+    def test_get_workload_inherits_recorded_scale(self, recorded):
+        """Scale-carrying callers (the runner) replay a trace as recorded."""
+        workload, path = recorded
+        replay = get_workload(f"trace:{path}", 2, 1.0)
+        assert replay.scale == workload.scale == 0.1
+        replay.close()
+
+    def test_matching_parameters_accepted(self, recorded):
+        workload, path = recorded
+        replay = get_workload(f"trace:{path}", 2, 0.1)
+        assert replay.name == workload.name
+        assert replay.num_regions == workload.num_regions
+        replay.close()
+
+
+class TestTraceStore:
+    def test_store_round_trip(self, recorded, tmp_path):
+        _, path = recorded
+        store = ArtifactStore(root=tmp_path / "store")
+        stored = store_trace(store, path)
+        assert stored is not None
+        assert stored.read_bytes() == path.read_bytes()
+        hit = stored_trace(store, "npb-is", 2, 0.1)
+        assert hit == stored
+        assert store.hits == 1
+
+    def test_corrupt_stored_trace_is_a_miss(self, recorded, tmp_path):
+        _, path = recorded
+        store = ArtifactStore(root=tmp_path / "store")
+        stored = store_trace(store, path)
+        data = bytearray(stored.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        stored.write_bytes(bytes(data))
+        assert stored_trace(store, "npb-is", 2, 0.1) is None
+        assert store.misses == 1
+        assert not stored.exists(), "corrupt trace must be unlinked"
+
+    def test_wrong_coordinates_miss(self, recorded, tmp_path):
+        _, path = recorded
+        store = ArtifactStore(root=tmp_path / "store")
+        store_trace(store, path)
+        assert stored_trace(store, "npb-is", 4, 0.1) is None
+        assert stored_trace(store, "npb-cg", 2, 0.1) is None
+
+    def test_disabled_store_drops_files(self, recorded, tmp_path):
+        _, path = recorded
+        store = ArtifactStore(root=tmp_path / "store", enabled=False)
+        assert store_trace(store, path) is None
+        assert stored_trace(store, "npb-is", 2, 0.1) is None
+
+
+class TestScenarioFuzzer:
+    def test_same_seed_same_spec(self):
+        assert ScenarioFuzzer(5).spec() == ScenarioFuzzer(5).spec()
+
+    def test_different_seeds_differ(self):
+        specs = {ScenarioFuzzer(seed).spec() for seed in range(8)}
+        assert len(specs) == 8
+
+    def test_workload_is_deterministic(self):
+        a = ScenarioFuzzer(3).workload(2, scale=0.2)
+        b = ScenarioFuzzer(3).workload(2, scale=0.2)
+        assert a.num_regions == b.num_regions
+        for idx in range(a.num_regions):
+            ta, tb = a.region_trace(idx), b.region_trace(idx)
+            for xa, xb in zip(ta.threads, tb.threads):
+                for ea, eb in zip(xa.blocks, xb.blocks):
+                    assert np.array_equal(ea.lines, eb.lines)
+                    assert np.array_equal(ea.writes, eb.writes)
+
+    def test_get_workload_resolves_fuzz_names(self):
+        workload = get_workload("fuzz-9", 2, 0.2)
+        assert workload.name == "fuzz-9"
+        assert workload.num_regions >= 8
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(WorkloadError, match="seed"):
+            ScenarioFuzzer(-1)
+
+    def test_imbalance_skews_threads(self):
+        from repro.workloads.synthetic import (
+            PhaseSpec, SyntheticSpec, SyntheticWorkload,
+        )
+
+        spec = SyntheticSpec(
+            name="imb",
+            phases=(PhaseSpec("p", "stream", 256, 500, imbalance=0.5),),
+            schedule=(("p", 0),),
+        )
+        workload = SyntheticWorkload(spec, num_threads=4, scale=1.0)
+        refs = [t.num_refs for t in workload.region_trace(0).threads]
+        assert refs[0] < refs[-1], refs
+
+    def test_imbalance_validation(self):
+        from repro.workloads.synthetic import PhaseSpec
+
+        with pytest.raises(WorkloadError, match="imbalance"):
+            PhaseSpec("p", "stream", 256, 500, imbalance=1.5)
+
+    def test_stream_is_seeded(self):
+        fuzzer = ScenarioFuzzer(4)
+        lines_a, writes_a = fuzzer.stream(2000)
+        lines_b, writes_b = fuzzer.stream(2000)
+        assert lines_a.size >= 2000
+        assert np.array_equal(lines_a, lines_b)
+        assert np.array_equal(writes_a, writes_b)
+        lines_c, _ = ScenarioFuzzer(5).stream(2000)
+        assert not np.array_equal(lines_a[: lines_c.size], lines_c)

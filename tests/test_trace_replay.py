@@ -1,0 +1,272 @@
+"""The differential-conformance battery for trace record/replay.
+
+The BarrierPoint methodology rests on traces being deterministic; this
+battery asserts the stronger, durable property the record/replay
+subsystem adds: for **every** registered workload, a recorded trace
+replayed through the pipeline is *bit-identical* to fresh generation —
+profiles (BBV/LDV array bytes included) and detailed full runs across
+all three hierarchy backends — and the committed golden fixtures keep
+that anchor stable across future changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import shutil
+
+import pytest
+
+from repro.core.pipeline import BarrierPointPipeline
+from repro.errors import TraceFormatError
+from repro.mem.backends import backend_names
+from repro.profiling.profiler import profiles_digest
+from repro.store import ArtifactStore
+from repro.trace.capture import (
+    TraceReader,
+    record_trace,
+    store_trace,
+    stored_trace,
+    validate_trace,
+)
+from repro.workloads import get_workload, registered_workloads
+from repro.workloads.replay import ReplayWorkload
+from tests.conftest import assert_bit_identical, tiny_machine
+
+SCALE = 0.1
+THREADS = 4
+
+#: Tiny evaluation machines, one per hierarchy backend.
+BACKENDS = tuple(sorted(backend_names()))
+
+#: Fuzzer scenarios riding through the same conformance checks.
+FUZZ_SEEDS = (1, 2, 3)
+
+GOLDEN = {
+    "golden-npb-is.rpt": {
+        "sha256": "3ebdec0c01231a03a6336301b97b8b6afb0be2240f8236d1f3b7a5ffc70e17c7",
+        "workload": "npb-is",
+        "num_threads": 2,
+        "scale": 0.05,
+        "num_regions": 11,
+    },
+    "golden-fuzz-11.rpt": {
+        "sha256": "9229404987135cb24fa36c3b0db4e4e2702c9815a3f75edccaf16ff4547fab48",
+        "workload": "fuzz-11",
+        "num_threads": 2,
+        "scale": 0.05,
+        "num_regions": 34,
+    },
+}
+
+
+def backend_machine(backend: str):
+    """The tiny test machine running one hierarchy backend."""
+    machine = tiny_machine()
+    return dataclasses.replace(
+        machine, name=f"{machine.name}-{backend}", hierarchy=backend
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    """Module-scoped directory holding one recording per workload."""
+    return tmp_path_factory.mktemp("conformance")
+
+
+def _record_once(trace_dir, name):
+    """Record ``name`` at the battery coordinates (cached on disk)."""
+    path = trace_dir / f"{name.replace(':', '_')}.rpt"
+    if not path.exists():
+        record_trace(get_workload(name, THREADS, SCALE), path)
+    return path
+
+
+@pytest.mark.parametrize("name", registered_workloads())
+def test_record_replay_profiles_bit_identical(name, trace_dir):
+    """Replayed functional profiles match fresh generation byte-for-byte."""
+    path = _record_once(trace_dir, name)
+    fresh = get_workload(name, THREADS, SCALE)
+    replay = ReplayWorkload(path)
+    pipe = BarrierPointPipeline(tiny_machine())
+    fresh_profiles = pipe.profile(fresh)
+    replay_profiles = pipe.profile(replay)
+    assert len(fresh_profiles) == len(replay_profiles)
+    for a, b in zip(fresh_profiles, replay_profiles):
+        assert_bit_identical(a.to_state(), b.to_state())
+    assert profiles_digest(fresh_profiles) == profiles_digest(replay_profiles)
+    replay.close()
+
+
+@pytest.mark.parametrize("name", registered_workloads())
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_record_replay_full_run_bit_identical(name, backend, trace_dir):
+    """Replayed detailed runs match fresh ones on every hierarchy backend."""
+    path = _record_once(trace_dir, name)
+    machine = backend_machine(backend)
+    fresh_full = BarrierPointPipeline(machine).full_run(
+        get_workload(name, THREADS, SCALE)
+    )
+    replay = ReplayWorkload(path)
+    replay_full = BarrierPointPipeline(machine).full_run(replay)
+    assert_bit_identical(fresh_full.to_state(), replay_full.to_state())
+    replay.close()
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fuzzer_scenarios_replay_bit_identical(seed, trace_dir):
+    """Fuzzer-emitted scenarios are replayable workloads like any other."""
+    name = f"fuzz-{seed}"
+    path = _record_once(trace_dir, name)
+    machine = backend_machine("prefetch-nl")
+    pipe = BarrierPointPipeline(machine)
+    fresh = get_workload(name, THREADS, SCALE)
+    replay = ReplayWorkload(path)
+    assert profiles_digest(pipe.profile(fresh)) == profiles_digest(
+        pipe.profile(replay)
+    )
+    assert_bit_identical(
+        pipe.full_run(fresh).to_state(), pipe.full_run(replay).to_state()
+    )
+    replay.close()
+
+
+def test_replay_of_replay_is_stable(trace_dir, tmp_path):
+    """Re-recording a replay reproduces identical chunk payloads."""
+    first = _record_once(trace_dir, "npb-is")
+    replay = ReplayWorkload(first)
+    second = record_trace(replay, tmp_path / "second.rpt")
+    replay.close()
+    with TraceReader(first) as a, TraceReader(second) as b:
+        assert list(a.iter_chunk_info()) == list(b.iter_chunk_info())
+
+
+def test_warmed_barrierpoint_matches_through_replay(trace_dir):
+    """The warmup capture pass also sees identical executions on replay."""
+    from repro.profiling.profiler import FunctionalProfiler
+    from repro.sim.machine import Machine
+    from repro.sim.warmup import MRUWarmup
+
+    path = _record_once(trace_dir, "npb-cg")
+    machine = tiny_machine()
+    fresh = get_workload("npb-cg", THREADS, SCALE)
+    replay = ReplayWorkload(path)
+    mid = fresh.num_regions // 2
+    capacity = machine.l3.num_lines
+    data_fresh = FunctionalProfiler(fresh).capture_warmup({mid}, capacity)[mid]
+    data_replay = FunctionalProfiler(replay).capture_warmup(
+        {mid}, capacity
+    )[mid]
+    assert data_fresh.per_core == data_replay.per_core
+    metrics_fresh = Machine(machine).simulate_barrierpoint(
+        fresh, mid, MRUWarmup(data_fresh)
+    )
+    metrics_replay = Machine(machine).simulate_barrierpoint(
+        replay, mid, MRUWarmup(data_replay)
+    )
+    assert_bit_identical(metrics_fresh.to_state(), metrics_replay.to_state())
+    replay.close()
+
+
+class TestGoldenFixtures:
+    """The committed ``.rpt`` fixtures are a durable conformance anchor."""
+
+    @pytest.mark.parametrize("filename", sorted(GOLDEN))
+    def test_checksum_pinned(self, filename, golden_dir):
+        expected = GOLDEN[filename]
+        path = golden_dir / filename
+        assert hashlib.sha256(path.read_bytes()).hexdigest() == (
+            expected["sha256"]
+        ), f"{filename} changed on disk — golden fixtures are immutable"
+
+    @pytest.mark.parametrize("filename", sorted(GOLDEN))
+    def test_validates_and_matches_metadata(self, filename, golden_dir):
+        expected = GOLDEN[filename]
+        with validate_trace(golden_dir / filename) as reader:
+            assert reader.meta["workload"] == expected["workload"]
+            assert reader.num_threads == expected["num_threads"]
+            assert reader.meta["scale"] == expected["scale"]
+            assert reader.num_regions == expected["num_regions"]
+
+    @pytest.mark.parametrize("filename", sorted(GOLDEN))
+    def test_replays_bit_identical_to_fresh_generation(
+        self, filename, golden_dir
+    ):
+        expected = GOLDEN[filename]
+        replay = ReplayWorkload(golden_dir / filename)
+        fresh = get_workload(
+            expected["workload"], expected["num_threads"], expected["scale"]
+        )
+        pipe = BarrierPointPipeline(tiny_machine())
+        assert profiles_digest(pipe.profile(replay)) == profiles_digest(
+            pipe.profile(fresh)
+        )
+        assert_bit_identical(
+            pipe.full_run(fresh).to_state(), pipe.full_run(replay).to_state()
+        )
+        replay.close()
+
+    def test_bit_flip_raises_not_garbage(self, golden_dir, tmp_path):
+        """Corrupting one payload bit is a loud TraceFormatError."""
+        source = golden_dir / "golden-npb-is.rpt"
+        corrupt = tmp_path / "corrupt.rpt"
+        data = bytearray(source.read_bytes())
+        data[len(data) // 2] ^= 0x01  # single bit, inside a chunk payload
+        corrupt.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            validate_trace(corrupt)
+
+    @staticmethod
+    def _recorded_code(path):
+        """The code fingerprint the fixture was recorded under.
+
+        Stored traces are keyed by their *recording's* fingerprint, so
+        looking up an archived fixture must use its own — the current
+        package's fingerprint has moved on since the fixture was made.
+        """
+        with TraceReader(path) as reader:
+            return reader.meta["code_fingerprint"]
+
+    def test_corrupt_golden_copy_is_a_store_miss(self, golden_dir, tmp_path):
+        """A stored-then-corrupted golden trace reads as a miss."""
+        source = golden_dir / "golden-npb-is.rpt"
+        code = self._recorded_code(source)
+        store = ArtifactStore(root=tmp_path / "store")
+        stored = store_trace(store, source)
+        data = bytearray(stored.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        stored.write_bytes(bytes(data))
+        assert stored_trace(store, "npb-is", 2, 0.05, code=code) is None
+        assert store.misses == 1
+        assert not stored.exists()
+
+    def test_pristine_golden_copy_is_a_store_hit(self, golden_dir, tmp_path):
+        source = golden_dir / "golden-npb-is.rpt"
+        code = self._recorded_code(source)
+        store = ArtifactStore(root=tmp_path / "store")
+        copy = tmp_path / "copy.rpt"
+        shutil.copyfile(source, copy)
+        store_trace(store, copy)
+        assert stored_trace(store, "npb-is", 2, 0.05, code=code) is not None
+        assert store.hits == 1
+
+    def test_stale_code_fingerprint_is_unreachable(self, golden_dir, tmp_path):
+        """Under *current* code, an old recording's key simply misses."""
+        from repro.store import code_fingerprint
+
+        source = golden_dir / "golden-npb-is.rpt"
+        if self._recorded_code(source) == code_fingerprint():
+            pytest.skip("fixture was recorded under the current source tree")
+        store = ArtifactStore(root=tmp_path / "store")
+        store_trace(store, source)
+        # The fixture predates the current source tree, so the default
+        # (current-code) lookup must not serve it.
+        assert stored_trace(store, "npb-is", 2, 0.05) is None
+
+
+@pytest.fixture(scope="module")
+def golden_dir():
+    """The committed fixture directory."""
+    import pathlib
+
+    return pathlib.Path(__file__).parent / "data"
