@@ -13,7 +13,9 @@ for the user guide):
   traces (see ``docs/trace-format.md``);
 * ``repro bench`` — run the pytest benchmark harness (perf + figures)
   with the environment knobs set from flags;
-* ``repro clean`` — delete the artifact store.
+* ``repro clean`` — delete the artifact store, or garbage-collect it
+  (``--gc``: orphan temp reaping, TTL expiry, LRU size quota — see
+  ``docs/robustness.md``).
 
 Installed as ``repro`` by ``pip install -e .``; equivalently available
 without installation as ``PYTHONPATH=src python -m repro ...``.
@@ -29,7 +31,7 @@ import sys
 from repro.errors import ConfigError, ReproError
 from repro.experiments import battery
 from repro.machines import machine_summary
-from repro.store import ArtifactStore
+from repro.store import ArtifactStore, janitor
 from repro.util.tables import format_table
 
 
@@ -207,11 +209,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     clean_p = sub.add_parser(
-        "clean", help="delete the artifact store"
+        "clean", help="delete or garbage-collect the artifact store"
     )
     clean_p.add_argument(
         "--dry-run", action="store_true",
         help="report what would be freed without deleting",
+    )
+    clean_p.add_argument(
+        "--gc", action="store_true",
+        help="janitor sweep instead of full deletion: reap orphan temp "
+             "files, expire by TTL, evict to the size quota",
+    )
+    clean_p.add_argument(
+        "--ttl", type=str, default=None,
+        help="with --gc: expire artifacts older than this (e.g. 3600, "
+             "90m, 12h, 7d)",
+    )
+    clean_p.add_argument(
+        "--max-bytes", type=str, default=None,
+        help="with --gc: evict least-recently-used artifacts until the "
+             "store fits (e.g. 1024, 512K, 100M, 2G)",
+    )
+    clean_p.add_argument(
+        "--tmp-grace", type=str, default=None,
+        help="with --gc: age before an orphan temp file is reaped "
+             f"(default {janitor.DEFAULT_TMP_GRACE_SECONDS:g}s)",
+    )
+    clean_p.add_argument(
+        "--no-reap-tmp", action="store_true",
+        help="with --gc: leave orphan temp files alone",
     )
     return parser
 
@@ -230,7 +256,14 @@ def cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         print()
 
     battery.run_experiments(runner, selected, on_result=_report)
+    _print_run_report(runner)
     return 0
+
+
+def _print_run_report(runner) -> None:
+    """Print the structured recovery/failure report when noteworthy."""
+    if runner.report.noteworthy():
+        print(runner.report.render())
 
 
 def cmd_figures(
@@ -248,6 +281,7 @@ def cmd_figures(
         print(f"{path}  [{seconds:.1f}s, {source}]")
 
     battery.run_experiments(runner, selected, on_result=_report)
+    _print_run_report(runner)
     return 0
 
 
@@ -289,6 +323,7 @@ def cmd_sweep(
             print(f"written to {args.out}")
 
     battery.run_experiments(runner, ["sweep"], on_result=_report)
+    _print_run_report(runner)
     return 0
 
 
@@ -541,8 +576,29 @@ def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
 
 def cmd_clean(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """``repro clean``: delete (or size up) the artifact store."""
+    """``repro clean``: delete or garbage-collect the artifact store."""
     store = ArtifactStore()
+    if args.gc:
+        stats = janitor.collect_garbage(
+            store,
+            ttl_seconds=(
+                janitor.parse_duration(args.ttl) if args.ttl else None
+            ),
+            max_bytes=(
+                janitor.parse_size(args.max_bytes) if args.max_bytes else None
+            ),
+            reap_tmp=not args.no_reap_tmp,
+            tmp_grace_seconds=(
+                janitor.parse_duration(args.tmp_grace)
+                if args.tmp_grace
+                else janitor.DEFAULT_TMP_GRACE_SECONDS
+            ),
+            dry_run=args.dry_run,
+        )
+        print(stats.render(store.root))
+        return 0
+    if args.ttl or args.max_bytes or args.tmp_grace or args.no_reap_tmp:
+        parser.error("--ttl/--max-bytes/--tmp-grace/--no-reap-tmp need --gc")
     if args.dry_run:
         print(f"{store.root}: {store.size_bytes()} bytes")
         return 0
@@ -583,6 +639,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Conventional 128 + SIGINT exit, no traceback.  Worker pools
+        # are already torn down: the runner's fan-out shuts its pool
+        # down (cancelling queued work) on any exception.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Downstream closed the pipe (`repro ... | head`); exit quietly
         # instead of tracebacking.  Redirect stdout to devnull so the

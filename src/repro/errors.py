@@ -33,6 +33,23 @@ class TraceFormatError(ReproError):
     """
 
 
+class InjectedFaultError(ReproError):
+    """A fault deliberately injected by an active :mod:`repro.faults` plan.
+
+    Raised only when a seeded fault plan is installed; recovery layers
+    (the runner's retry loop, the store's I/O retries) treat it exactly
+    like the real failure it stands in for.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A runner task exceeded its per-task time budget."""
+
+
+class RetryExhaustedError(ReproError):
+    """A runner task kept failing after its whole retry budget."""
+
+
 class ClusteringError(ReproError):
     """Clustering inputs are degenerate (empty, mismatched, non-finite)."""
 

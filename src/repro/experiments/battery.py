@@ -15,13 +15,18 @@ This module is the single driver behind both ``repro run`` and
 from __future__ import annotations
 
 import argparse
+import os
 import time
 
 from repro.config import simpoint_defaults, table1_8core, table1_32core
 from repro.errors import ConfigError
 from repro.experiments import paper_data
 from repro.experiments import common as _common
-from repro.experiments.common import ExperimentRunner, experiment_machine
+from repro.experiments.common import (
+    ExperimentRunner,
+    RetryPolicy,
+    experiment_machine,
+)
 from repro.experiments import (
     ablations,
     fig1_barrier_counts,
@@ -36,7 +41,12 @@ from repro.experiments import (
     table3_barrierpoints,
 )
 from repro.machines import machine_names
-from repro.store import ArtifactStore, code_fingerprint, module_fingerprint
+from repro.store import (
+    ArtifactStore,
+    code_fingerprint,
+    gc_from_env,
+    module_fingerprint,
+)
 
 EXPERIMENTS = {
     "fig1": fig1_barrier_counts,
@@ -118,6 +128,32 @@ def add_runner_options(parser: argparse.ArgumentParser) -> None:
         help="comma-separated registry machines for the sweep experiment "
              "(default: the built-in sweep set; see `repro machines`)",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed run: skip passes the checkpoint journal "
+             "recorded as complete (artifacts must still be in the store)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task time budget in seconds for the parallel fan-out "
+             "(default $REPRO_TASK_TIMEOUT or unlimited)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retry budget per failed task "
+             "(default $REPRO_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--faults", type=str, default=None,
+        help="fault-injection plan, e.g. "
+             "'runner.task:exception;store.put:io_error:rate=0.3' "
+             "(default $REPRO_FAULTS; see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault plan's deterministic coin "
+             "(default $REPRO_FAULT_SEED or 0)",
+    )
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
@@ -135,6 +171,22 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         kwargs["workers"] = args.workers
     if args.no_store:
         kwargs["store"] = None
+    retry_overrides: dict = {}
+    if getattr(args, "timeout", None) is not None:
+        retry_overrides["timeout"] = args.timeout
+    if getattr(args, "max_retries", None) is not None:
+        retry_overrides["max_retries"] = args.max_retries
+    if retry_overrides:
+        kwargs["retry"] = RetryPolicy.from_env(**retry_overrides)
+    if getattr(args, "resume", False):
+        kwargs["resume"] = True
+    if getattr(args, "faults", None) is not None:
+        from repro.faults import ENV_SEED, FaultPlan, install_plan
+
+        seed = args.fault_seed
+        if seed is None:
+            seed = int(os.environ.get(ENV_SEED, "0"))
+        install_plan(FaultPlan.parse(args.faults, seed=seed))
     if getattr(args, "machines", ""):
         selected = tuple(
             name.strip() for name in args.machines.split(",") if name.strip()
@@ -232,31 +284,39 @@ def run_experiments(
     """
     if names is None:
         names = list(DEFAULT_BATTERY)
-    cached: dict[str, str] = {}
-    for name in names:
-        text = runner._store_get("figure", figure_key(runner, name))
-        if isinstance(text, str):
-            cached[name] = text
-    needed_kinds = sorted({
-        kind
-        for name in names
-        if name not in cached
-        for kind in EXPERIMENT_NEEDS.get(name, ("profiles", "full"))
-    })
-    if needed_kinds and runner.workers > 1:
-        runner.prefetch(kinds=tuple(needed_kinds))
-    outputs: dict[str, str] = {}
-    for name in names:
-        start = time.perf_counter()
-        if name in cached:
-            output = cached[name]
-        else:
-            output = EXPERIMENTS[name].run(runner)
-            runner._store_put("figure", figure_key(runner, name), output)
-        outputs[name] = output
-        if on_result is not None:
-            on_result(name, output, time.perf_counter() - start, name in cached)
-    return outputs
+    try:
+        cached: dict[str, str] = {}
+        for name in names:
+            text = runner._store_get("figure", figure_key(runner, name))
+            if isinstance(text, str):
+                cached[name] = text
+        needed_kinds = sorted({
+            kind
+            for name in names
+            if name not in cached
+            for kind in EXPERIMENT_NEEDS.get(name, ("profiles", "full"))
+        })
+        if needed_kinds and runner.workers > 1:
+            runner.prefetch(kinds=tuple(needed_kinds))
+        outputs: dict[str, str] = {}
+        for name in names:
+            start = time.perf_counter()
+            if name in cached:
+                output = cached[name]
+            else:
+                output = EXPERIMENTS[name].run(runner)
+                runner._store_put("figure", figure_key(runner, name), output)
+            outputs[name] = output
+            if on_result is not None:
+                on_result(
+                    name, output, time.perf_counter() - start, name in cached
+                )
+        return outputs
+    finally:
+        # Runner-exit janitor hook: with REPRO_STORE_GC=1 every battery
+        # invocation ends with an env-configured GC sweep of its store.
+        if runner.store is not None:
+            gc_from_env(runner.store)
 
 
 def show_configs() -> str:

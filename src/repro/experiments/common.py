@@ -11,12 +11,29 @@ The per-(benchmark, core-count) passes are embarrassingly parallel;
 :meth:`ExperimentRunner.prefetch` fans them out across a process pool.
 Every pass is a deterministic function of ``(benchmark, threads, scale)``,
 so results are byte-identical regardless of worker count or scheduling.
+
+The fan-out is fault tolerant (see ``docs/robustness.md``): failed tasks
+are retried with exponential backoff and deterministic jitter under a
+bounded attempt budget (:class:`RetryPolicy`), each task runs under an
+optional in-worker timeout, a worker crash (``BrokenProcessPool``)
+respawns the pool and resubmits only the incomplete tasks, repeated pool
+failures degrade gracefully to serial in-process execution, and every
+completed pass is checkpointed to a crash-tolerant journal so a killed
+battery resumed with ``resume=True`` recomputes only unfinished work.
+Because every pass is deterministic, all recovery paths preserve the
+byte-identical-to-serial guarantee.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.config import (
@@ -31,7 +48,14 @@ from repro.machines import get_machine
 from repro.core.pipeline import BarrierPointPipeline, PipelineResult
 from repro.core.selection import BarrierPointSelection
 from repro.core.signatures import SIGNATURE_VARIANTS, SignatureConfig
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    RetryExhaustedError,
+    TaskTimeoutError,
+    WorkloadError,
+)
+from repro.experiments.journal import RunJournal
+from repro.faults import mark_process_sacrificial, maybe_inject
 from repro.profiling.profiler import RegionProfile
 from repro.sim.machine import FullRunResult
 from repro.store import ArtifactStore, code_fingerprint
@@ -89,6 +113,229 @@ def _default_workers() -> int:
     return int(os.environ.get("REPRO_WORKERS", "0"))
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout budget for the runner's expensive passes.
+
+    Attributes:
+        max_retries: Retries after the first attempt (so a task runs at
+            most ``max_retries + 1`` times).
+        backoff_base: First-retry backoff in seconds; doubles per retry.
+        backoff_max: Backoff ceiling in seconds.
+        jitter: Extra backoff fraction in [0, 1], drawn deterministically
+            from the task key and attempt (reproducible, but decorrelated
+            across tasks).
+        timeout: Per-task time budget in seconds, enforced *inside* the
+            task via ``SIGALRM`` (``None`` = no limit; a no-op on
+            platforms without ``SIGALRM``).
+        max_pool_failures: Pool crashes (``BrokenProcessPool``) tolerated
+            before degrading to serial in-process execution.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    timeout: float | None = None
+    max_pool_failures: int = 2
+
+    @classmethod
+    def from_env(cls, **overrides) -> RetryPolicy:
+        """Policy with ``$REPRO_TASK_TIMEOUT``/``$REPRO_MAX_RETRIES`` defaults.
+
+        Args:
+            **overrides: Field overrides that win over the environment.
+
+        Returns:
+            The configured policy.
+        """
+        kwargs: dict = {}
+        if os.environ.get("REPRO_TASK_TIMEOUT"):
+            kwargs["timeout"] = float(os.environ["REPRO_TASK_TIMEOUT"])
+        if os.environ.get("REPRO_MAX_RETRIES"):
+            kwargs["max_retries"] = int(os.environ["REPRO_MAX_RETRIES"])
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def backoff_seconds(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of task ``key``.
+
+        Exponential in the attempt with deterministic jitter: the same
+        (key, attempt) always waits the same time, but different tasks
+        retrying together are decorrelated instead of thundering in
+        lockstep.
+
+        Args:
+            key: Stable task identity.
+            attempt: 1-based retry attempt.
+
+        Returns:
+            Seconds to sleep.
+        """
+        base = min(
+            self.backoff_max, self.backoff_base * (2 ** max(0, attempt - 1))
+        )
+        digest = hashlib.sha256(f"{key}|{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "little") / 2**64
+        return base * (1.0 + self.jitter * fraction)
+
+
+#: Exceptions retrying cannot fix: the configuration or workload request
+#: itself is wrong, so every attempt would fail identically.
+_NON_RETRYABLE = (ConfigError, WorkloadError)
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    """Whether a failed attempt is worth retrying."""
+    return isinstance(exc, Exception) and not isinstance(exc, _NON_RETRYABLE)
+
+
+@dataclass
+class TaskReport:
+    """End-of-run disposition of one expensive pass.
+
+    Attributes:
+        name: Workload name.
+        num_threads: Thread count.
+        machine: Registry machine name, or ``None`` for the default.
+        attempts: Attempts actually executed.
+        disposition: ``"completed"``, ``"failed"``, or ``"resumed"``
+            (skipped because the checkpoint journal had it).
+        errors: Stringified error per failed attempt, in order (these
+            are the fault sites hit, when the failures were injected).
+    """
+
+    name: str
+    num_threads: int
+    machine: str | None
+    attempts: int = 0
+    disposition: str = "pending"
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """Human identity of the pass."""
+        suffix = f"@{self.machine}" if self.machine else ""
+        return f"{self.name}/{self.num_threads}t{suffix}"
+
+
+@dataclass
+class RunReport:
+    """Structured end-of-run failure/recovery report for one runner.
+
+    Accumulated across :meth:`ExperimentRunner.prefetch` calls; rendered
+    at the end of ``repro run`` when anything noteworthy happened.
+
+    Attributes:
+        tasks: Per-pass reports (only passes the fan-out touched).
+        pool_failures: Worker-pool crashes survived.
+        serial_fallback: Whether execution degraded to serial.
+        resumed: Passes skipped thanks to the checkpoint journal.
+    """
+
+    tasks: list[TaskReport] = field(default_factory=list)
+    pool_failures: int = 0
+    serial_fallback: bool = False
+    resumed: int = 0
+
+    def noteworthy(self) -> bool:
+        """Whether there is anything beyond a clean first-try run."""
+        return bool(
+            self.pool_failures
+            or self.serial_fallback
+            or self.resumed
+            or any(t.attempts > 1 or t.disposition == "failed"
+                   for t in self.tasks)
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the report."""
+        return {
+            "pool_failures": self.pool_failures,
+            "serial_fallback": self.serial_fallback,
+            "resumed": self.resumed,
+            "tasks": [
+                {
+                    "task": t.label,
+                    "attempts": t.attempts,
+                    "disposition": t.disposition,
+                    "errors": list(t.errors),
+                }
+                for t in self.tasks
+            ],
+        }
+
+    def render(self) -> str:
+        """Human summary (one line per touched pass)."""
+        lines = [
+            f"run report: {self.resumed} resumed, "
+            f"{self.pool_failures} pool failure(s)"
+            + (", degraded to serial" if self.serial_fallback else "")
+        ]
+        for t in self.tasks:
+            detail = f"  {t.label}: {t.disposition} after {t.attempts} attempt(s)"
+            if t.errors:
+                detail += f" ({'; '.join(t.errors)})"
+            lines.append(detail)
+        return "\n".join(lines)
+
+
+@dataclass
+class _TaskState:
+    """Parent-side bookkeeping for one in-flight prefetch task."""
+
+    name: str
+    num_threads: int
+    machine: str | None
+    want_profiles: bool
+    want_full: bool
+    key: str
+    report: TaskReport
+    attempt: int = 0
+
+
+def _task_fault_key(name: str, num_threads: int, machine: str | None) -> str:
+    """The ``runner.task`` fault-site identity of one pass."""
+    suffix = f"@{machine}" if machine else ""
+    return f"{name}/{num_threads}t{suffix}"
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: workers are expendable for crash faults."""
+    mark_process_sacrificial()
+
+
+@contextmanager
+def _time_limit(seconds: float | None, what: str):
+    """Enforce a wall-clock budget on the enclosed block via ``SIGALRM``.
+
+    Raises :class:`~repro.errors.TaskTimeoutError` when the budget is
+    exceeded.  A no-op when ``seconds`` is ``None`` or the platform has
+    no ``SIGALRM`` (the timeout is then best-effort-unsupported).
+
+    Args:
+        seconds: Time budget, or ``None`` for unlimited.
+        what: Task description for the error message.
+    """
+    if seconds is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        """Translate the alarm into the runner's timeout error."""
+        raise TaskTimeoutError(
+            f"task {what} exceeded its {seconds:g}s time budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _workload_identity(name: str) -> str:
     """The store-key identity of a workload name.
 
@@ -131,31 +378,41 @@ def _compute_pair(task: tuple) -> tuple[str, int, str | None, dict]:
 
     Args:
         task: ``(name, num_threads, scale, store_root, want_profiles,
-            want_full, machine)``.  ``store_root`` of ``None`` skips
-            persistence; ``machine`` of ``None`` selects the default
-            evaluation machine for ``num_threads``.
+            want_full, machine[, attempt, timeout])``.  ``store_root`` of
+            ``None`` skips persistence; ``machine`` of ``None`` selects
+            the default evaluation machine for ``num_threads``;
+            ``attempt`` is the 0-based retry attempt (fault-injection
+            identity); ``timeout`` is the per-task budget in seconds.
 
     Returns:
         ``(name, num_threads, machine, states)`` where ``states`` maps
         ``"profiles"`` to a list of :meth:`RegionProfile.to_state` dicts
         and/or ``"full"`` to a :meth:`FullRunResult.to_state` dict.
     """
-    name, num_threads, scale, store_root, want_profiles, want_full, machine = task
-    workload = get_workload(name, num_threads, scale)
-    pipe = BarrierPointPipeline(_resolve_machine(num_threads, machine))
-    store = ArtifactStore(root=store_root) if store_root is not None else None
-    key = _pair_key(scale, name, num_threads, machine)
-    states: dict = {}
-    if want_profiles:
-        profiles = pipe.profile(workload)
-        states["profiles"] = [p.to_state() for p in profiles]
-        if store is not None:
-            store.put("profiles", key, states["profiles"])
-    if want_full:
-        full = pipe.full_run(workload)
-        states["full"] = full.to_state()
-        if store is not None:
-            store.put("full", key, states["full"])
+    (name, num_threads, scale, store_root, want_profiles, want_full,
+     machine, *rest) = task
+    attempt = rest[0] if rest else 0
+    timeout = rest[1] if len(rest) > 1 else None
+    fault_key = _task_fault_key(name, num_threads, machine)
+    with _time_limit(timeout, fault_key):
+        maybe_inject("runner.task", key=fault_key, attempt=attempt)
+        workload = get_workload(name, num_threads, scale)
+        pipe = BarrierPointPipeline(_resolve_machine(num_threads, machine))
+        store = (
+            ArtifactStore(root=store_root) if store_root is not None else None
+        )
+        key = _pair_key(scale, name, num_threads, machine)
+        states: dict = {}
+        if want_profiles:
+            profiles = pipe.profile(workload)
+            states["profiles"] = [p.to_state() for p in profiles]
+            if store is not None:
+                store.put("profiles", key, states["profiles"])
+        if want_full:
+            full = pipe.full_run(workload)
+            states["full"] = full.to_state()
+            if store is not None:
+                store.put("full", key, states["full"])
     return name, num_threads, machine, states
 
 
@@ -171,6 +428,13 @@ class ExperimentRunner:
     ``store`` persists the expensive artifacts across processes and runs;
     pass ``None`` to keep everything in memory.  ``sweep_machines`` names
     the registry machines the cross-architecture sweep iterates.
+
+    Fault tolerance: ``retry`` bounds per-task retries/backoff/timeouts,
+    ``resume`` makes the runner trust the checkpoint journal of an
+    earlier (killed) run with the same configuration, and ``report``
+    accumulates the structured end-of-run failure report.  None of these
+    affect results — every recovery path recomputes the same
+    deterministic function.
     """
 
     scale: float = 1.0
@@ -179,6 +443,9 @@ class ExperimentRunner:
     workers: int = field(default_factory=_default_workers)
     store: ArtifactStore | None = field(default_factory=ArtifactStore)
     sweep_machines: tuple[str, ...] = DEFAULT_SWEEP_MACHINES
+    retry: RetryPolicy = field(default_factory=RetryPolicy.from_env)
+    resume: bool = False
+    report: RunReport = field(default_factory=RunReport, repr=False)
     _workloads: dict = field(default_factory=dict, repr=False)
     _profiles: dict = field(default_factory=dict, repr=False)
     _fulls: dict = field(default_factory=dict, repr=False)
@@ -194,8 +461,8 @@ class ExperimentRunner:
 
         Covers scale, benchmark suite, and SimPoint parameters — the
         inputs a rendered figure depends on beyond the code itself.
-        ``workers`` and the store are excluded: they never change
-        results.  ``sweep_machines`` is excluded too — only the sweep
+        ``workers``, the store, and the fault-tolerance knobs (``retry``,
+        ``resume``) are excluded: they never change results.  ``sweep_machines`` is excluded too — only the sweep
         figure consults it, and its cache key mixes the machine set in
         separately (see ``battery.figure_key``) so a ``--machines``
         change cannot spuriously invalidate the battery figures.
@@ -216,6 +483,10 @@ class ExperimentRunner:
         """Store write that tolerates a disabled/absent store."""
         if self.store is not None:
             self.store.put(kind, key, payload)
+
+    def journal(self) -> RunJournal | None:
+        """The checkpoint journal for this configuration (if storable)."""
+        return RunJournal.for_runner(self.store, self.fingerprint())
 
     # ------------------------------------------------------------------
     # Parallel prefetch
@@ -251,12 +522,22 @@ class ExperimentRunner:
     ) -> int:
         """Fan the missing profile/full-run passes out across processes.
 
-        Every (benchmark, machine) pass not already memoized or in the
-        store is computed in a :class:`~concurrent.futures.ProcessPoolExecutor`
+        Every (benchmark, machine) pass not already memoized, in the
+        store, or (under ``resume``) checkpointed by a previous run is
+        computed in a :class:`~concurrent.futures.ProcessPoolExecutor`
         with ``self.workers`` workers; results land in the in-memory memo
         and (when a store is configured) on disk, where other processes
         can reuse them.  Each pass is deterministic, so the outcome is
         identical to computing serially.
+
+        Failures are retried under :attr:`retry`; a broken pool is
+        respawned (only incomplete tasks are resubmitted) and repeated
+        pool failures degrade to serial in-process execution.  Completed
+        passes are journaled as they land, and a task that exhausts its
+        retry budget raises
+        :class:`~repro.errors.RetryExhaustedError` *after* every other
+        task has been drained — one bad pass never discards the rest of
+        the battery's work.
 
         Args:
             pairs: ``(benchmark, num_threads)`` pairs — or ``(benchmark,
@@ -268,15 +549,23 @@ class ExperimentRunner:
                 (e.g. selection-only figures) restrict the fan-out.
 
         Returns:
-            Number of passes computed by the pool (0 when everything was
-            already available or ``workers`` <= 1).
+            Number of passes computed by the fan-out (0 when everything
+            was already available or ``workers`` <= 1).
+
+        Raises:
+            RetryExhaustedError: When at least one task kept failing
+                through its whole attempt budget.
         """
         if pairs is None:
             pairs = [(b, nt) for b in self.benchmarks for nt in CORE_COUNTS]
         normalized = [
             pair if len(pair) == 3 else (*pair, None) for pair in pairs
         ]
-        tasks = []
+        journal = self.journal()
+        checkpointed: dict[str, set[str]] = {}
+        if self.resume and journal is not None:
+            checkpointed = journal.completed_passes()
+        tasks: list[_TaskState] = []
         store_root = None
         if self.store is not None and self.store.enabled:
             store_root = str(self.store.root)
@@ -296,18 +585,27 @@ class ExperimentRunner:
                     self.store is not None and self.store.has("full", akey)
                 )
             )
-            if want_profiles or want_full:
-                tasks.append(
-                    (name, num_threads, self.scale, store_root,
-                     want_profiles, want_full, machine)
-                )
+            # A journaled pass whose artifacts vanished from the store is
+            # recomputed — the journal is trusted only together with the
+            # artifacts it points at (want_* above already checked those).
+            if not (want_profiles or want_full):
+                if checkpointed.get(akey):
+                    self.report.resumed += 1
+                continue
+            tasks.append(_TaskState(
+                name=name, num_threads=num_threads, machine=machine,
+                want_profiles=want_profiles, want_full=want_full, key=akey,
+                report=TaskReport(
+                    name=name, num_threads=num_threads, machine=machine
+                ),
+            ))
         if not tasks or self.workers <= 1:
             return 0
         from repro.machines import MACHINE_SPECS
 
         runtime_only = sorted({
-            task[6] for task in tasks
-            if task[6] is not None and task[6] not in MACHINE_SPECS
+            t.machine for t in tasks
+            if t.machine is not None and t.machine not in MACHINE_SPECS
         })
         if runtime_only:
             # Runtime registrations are per-process; pool workers would
@@ -317,23 +615,208 @@ class ExperimentRunner:
                 f"visible to worker processes; run with workers <= 1 or "
                 f"add them to repro.machines.specs.MACHINE_SPECS"
             )
-        computed = 0
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for name, num_threads, machine, states in pool.map(
-                _compute_pair, tasks
-            ):
-                memo_key = (name, num_threads, machine)
-                if "profiles" in states:
-                    self._profiles[memo_key] = [
-                        RegionProfile.from_state(s) for s in states["profiles"]
-                    ]
-                    computed += 1
-                if "full" in states:
-                    self._fulls[memo_key] = FullRunResult.from_state(
-                        states["full"]
+        self.report.tasks.extend(t.report for t in tasks)
+        return self._fan_out(tasks, store_root, journal)
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant fan-out
+    # ------------------------------------------------------------------
+
+    def _task_tuple(self, state: _TaskState, store_root: str | None) -> tuple:
+        """The ``_compute_pair`` argument for a task's next attempt."""
+        return (
+            state.name, state.num_threads, self.scale, store_root,
+            state.want_profiles, state.want_full, state.machine,
+            state.attempt, self.retry.timeout,
+        )
+
+    def _ingest(
+        self, state: _TaskState, states: dict, journal: RunJournal | None
+    ) -> int:
+        """Absorb one completed task: memoize, journal, report.
+
+        Args:
+            state: The completed task.
+            states: The worker's ``{"profiles": ..., "full": ...}`` payload.
+            journal: Checkpoint journal (``None`` = no checkpointing).
+
+        Returns:
+            Number of pass kinds completed (for the prefetch count).
+        """
+        memo_key = (state.name, state.num_threads, state.machine)
+        completed = 0
+        kinds: list[str] = []
+        if "profiles" in states:
+            self._profiles[memo_key] = [
+                RegionProfile.from_state(s) for s in states["profiles"]
+            ]
+            completed += 1
+            kinds.append("profiles")
+        if "full" in states:
+            self._fulls[memo_key] = FullRunResult.from_state(states["full"])
+            completed += 1
+            kinds.append("full")
+        state.report.attempts = state.attempt + 1
+        state.report.disposition = "completed"
+        if journal is not None:
+            journal.record_pass(
+                state.key, state.name, state.num_threads, state.machine,
+                tuple(kinds),
+            )
+        return completed
+
+    def _record_failure(self, state: _TaskState, exc: BaseException) -> bool:
+        """Charge a failed attempt; return whether to retry.
+
+        Args:
+            state: The failed task (its attempt counter is advanced).
+            exc: The failure.
+
+        Returns:
+            ``True`` when the task should be resubmitted.
+        """
+        state.attempt += 1
+        state.report.attempts = state.attempt
+        state.report.errors.append(f"{type(exc).__name__}: {exc}")
+        if not _is_retryable(exc) or state.attempt > self.retry.max_retries:
+            state.report.disposition = "failed"
+            return False
+        time.sleep(self.retry.backoff_seconds(state.key, state.attempt))
+        return True
+
+    def _run_serial(
+        self,
+        states: list[_TaskState],
+        store_root: str | None,
+        journal: RunJournal | None,
+        failed: list[_TaskState],
+    ) -> int:
+        """Serial-fallback executor: finish tasks in-process with retries.
+
+        ``crash`` faults degrade to exceptions here (the parent process
+        is not sacrificial), so even a crash-faulting plan completes.
+
+        Args:
+            states: Tasks still to run.
+            store_root: Store root for worker-side persistence.
+            journal: Checkpoint journal.
+            failed: Sink for tasks that exhaust their budget.
+
+        Returns:
+            Number of passes completed.
+        """
+        completed = 0
+        for state in states:
+            while True:
+                try:
+                    _, _, _, payload = _compute_pair(
+                        self._task_tuple(state, store_root)
                     )
-                    computed += 1
-        return computed
+                except Exception as exc:
+                    if self._record_failure(state, exc):
+                        continue
+                    failed.append(state)
+                    break
+                completed += self._ingest(state, payload, journal)
+                break
+        return completed
+
+    def _fan_out(
+        self,
+        tasks: list[_TaskState],
+        store_root: str | None,
+        journal: RunJournal | None,
+    ) -> int:
+        """Drive the process-pool fan-out with retry and pool recovery.
+
+        Args:
+            tasks: The missing passes to compute.
+            store_root: Store root for worker-side persistence.
+            journal: Checkpoint journal.
+
+        Returns:
+            Number of passes computed.
+
+        Raises:
+            RetryExhaustedError: After draining everything, when any
+                task ran out of attempts.
+        """
+        pending = deque(tasks)
+        failed: list[_TaskState] = []
+        completed = 0
+        while pending:
+            if self.report.pool_failures > self.retry.max_pool_failures:
+                # The pool keeps dying — stop burning workers and finish
+                # the remainder serially in this process.
+                self.report.serial_fallback = True
+                completed += self._run_serial(
+                    list(pending), store_root, journal, failed
+                )
+                pending.clear()
+                break
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_worker_init
+            )
+            broken = False
+            try:
+                futures = {
+                    pool.submit(_compute_pair, self._task_tuple(s, store_root)): s
+                    for s in pending
+                }
+                pending.clear()
+                while futures:
+                    done, _ = wait(
+                        list(futures), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        state = futures.pop(future)
+                        try:
+                            _, _, _, payload = future.result()
+                        except BrokenProcessPool:
+                            # A worker died (crash fault, OOM kill, ...).
+                            # Charge the attempt to every task still in
+                            # flight — the culprit is indistinguishable —
+                            # and respawn for the incomplete remainder.
+                            broken = True
+                            self.report.pool_failures += 1
+                            victims = [state, *futures.values()]
+                            futures.clear()
+                            for victim in victims:
+                                if self._record_failure(
+                                    victim, BrokenProcessPool(
+                                        "worker process died"
+                                    )
+                                ):
+                                    pending.append(victim)
+                                else:
+                                    failed.append(victim)
+                            break
+                        except Exception as exc:
+                            if self._record_failure(state, exc):
+                                futures[pool.submit(
+                                    _compute_pair,
+                                    self._task_tuple(state, store_root),
+                                )] = state
+                            else:
+                                failed.append(state)
+                        else:
+                            completed += self._ingest(state, payload, journal)
+                    if broken:
+                        break
+            finally:
+                # cancel_futures so a KeyboardInterrupt (or fatal error)
+                # tears the pool down instead of waiting out queued work.
+                pool.shutdown(wait=not broken, cancel_futures=True)
+        if failed:
+            raise RetryExhaustedError(
+                "gave up on "
+                + ", ".join(
+                    f"{s.report.label} after {s.report.attempts} attempt(s)"
+                    f" [{s.report.errors[-1]}]"
+                    for s in failed
+                )
+            )
+        return completed
 
     # ------------------------------------------------------------------
     # Cached building blocks

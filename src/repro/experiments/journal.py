@@ -1,0 +1,121 @@
+"""Crash-tolerant run journal: the checkpoint behind ``repro run --resume``.
+
+The journal is an append-only JSONL file under the artifact store's
+root, one per runner configuration (the file name is the runner's
+fingerprint, so a ``--scale`` change never resumes from the wrong run).
+Each line records one completed expensive pass — ``(workload, threads,
+machine)`` plus which artifact kinds were produced — flushed and fsynced
+as it happens, so a SIGKILLed battery leaves a journal describing
+exactly what finished.
+
+On ``--resume`` the runner loads the journal and skips every journaled
+pass whose artifacts are still present in the store, recomputing only
+the unfinished remainder.  Loading tolerates a torn final line (the
+crash may have landed mid-append) by ignoring it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+#: Journal directory name under the store root.
+JOURNAL_DIR = "journal"
+
+
+class RunJournal:
+    """Append-only completion journal for one runner configuration.
+
+    Args:
+        path: The journal file (created on first append).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+
+    @classmethod
+    def for_runner(cls, store, runner_fingerprint: str) -> RunJournal | None:
+        """The journal a runner configuration checkpoints into.
+
+        Args:
+            store: The runner's :class:`~repro.store.ArtifactStore`
+                (``None`` or disabled means no journaling).
+            runner_fingerprint: The runner's configuration fingerprint.
+
+        Returns:
+            The journal, or ``None`` when there is nowhere durable to
+            put one.
+        """
+        if store is None or not store.enabled:
+            return None
+        return cls(store.root / JOURNAL_DIR / f"{runner_fingerprint}.jsonl")
+
+    def record_pass(
+        self,
+        key: str,
+        name: str,
+        num_threads: int,
+        machine: str | None,
+        kinds: tuple[str, ...],
+    ) -> None:
+        """Append one completed pass (durably: flush + fsync).
+
+        Args:
+            key: The pass's artifact-store key.
+            name: Workload name.
+            num_threads: Thread count of the pass.
+            machine: Registry machine name, or ``None`` for the default
+                evaluation machine.
+            kinds: Artifact kinds completed (``"profiles"``/``"full"``).
+        """
+        entry = {
+            "event": "pass",
+            "key": key,
+            "name": name,
+            "nt": num_threads,
+            "machine": machine,
+            "kinds": sorted(kinds),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def completed_passes(self) -> dict[str, set[str]]:
+        """Load the journal: artifact key -> set of completed kinds.
+
+        A truncated final line (crash mid-append) and any unparsable
+        line are skipped — the journal under-promises rather than lies.
+
+        Returns:
+            The completion map (empty when no journal exists yet).
+        """
+        completed: dict[str, set[str]] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return completed
+        for line in text.splitlines():
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or entry.get("event") != "pass":
+                continue
+            key = entry.get("key")
+            kinds = entry.get("kinds")
+            if isinstance(key, str) and isinstance(kinds, list):
+                completed.setdefault(key, set()).update(
+                    k for k in kinds if isinstance(k, str)
+                )
+        return completed
+
+    def clear(self) -> None:
+        """Delete the journal file (fresh non-resumed runs start clean)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -17,12 +17,16 @@ from repro.store.fingerprint import (
     config_fingerprint,
     module_fingerprint,
 )
+from repro.store.janitor import GCStats, collect_garbage, gc_from_env
 
 __all__ = [
     "ArtifactStore",
     "DEFAULT_ROOT",
+    "GCStats",
     "SCHEMA_VERSION",
     "code_fingerprint",
+    "collect_garbage",
     "config_fingerprint",
+    "gc_from_env",
     "module_fingerprint",
 ]

@@ -23,7 +23,14 @@ File format and guarantees:
 Environment knobs (read at store construction):
 
 * ``REPRO_STORE_DIR`` — root directory (default ``.repro-store``);
-* ``REPRO_STORE=0`` — disable the store entirely (compute everything).
+* ``REPRO_STORE=0`` — disable the store entirely (compute everything);
+* ``REPRO_STORE_IO_RETRIES`` — transient-I/O retry count (default 2).
+
+Robustness: reads and writes retry transient ``OSError``\\ s with a short
+backoff (flaky network filesystems, injected faults); a read that still
+fails after the retries is a *miss*, never a crash.  Successful reads
+touch the artifact's mtime, which is the recency signal the janitor's
+LRU eviction uses (:mod:`repro.store.janitor`).
 """
 
 from __future__ import annotations
@@ -34,7 +41,9 @@ import pathlib
 import pickle
 import shutil
 import tempfile
+import time
 
+from repro.faults import maybe_corrupt, maybe_inject
 from repro.store.fingerprint import config_fingerprint
 
 #: Bumped whenever the on-disk artifact encoding changes; participates in
@@ -46,6 +55,44 @@ _DIGEST_BYTES = 32
 
 #: Default store root, relative to the working directory.
 DEFAULT_ROOT = ".repro-store"
+
+#: Transient-I/O retry schedule: attempts beyond the first, and the base
+#: backoff doubled per retry.  Overridable via ``REPRO_STORE_IO_RETRIES``.
+DEFAULT_IO_RETRIES = 2
+_IO_BACKOFF_SECONDS = 0.01
+
+
+def _io_retries() -> int:
+    """Configured transient-I/O retry count (``$REPRO_STORE_IO_RETRIES``)."""
+    return int(os.environ.get("REPRO_STORE_IO_RETRIES", DEFAULT_IO_RETRIES))
+
+
+def _with_io_retries(operation):
+    """Run an I/O operation, retrying transient ``OSError`` with backoff.
+
+    ``operation`` receives the 0-based attempt index (so fault hooks
+    inside it can report which attempt they faulted).  A missing file is
+    not transient: ``FileNotFoundError`` propagates immediately, keeping
+    cold-store misses free.  The final attempt's ``OSError`` propagates
+    to the caller, which decides whether that means "miss" (reads) or a
+    real failure (writes).
+
+    Args:
+        operation: Callable taking the attempt index and doing the I/O.
+
+    Returns:
+        ``operation(attempt)``'s result.
+    """
+    retries = _io_retries()
+    for attempt in range(retries + 1):
+        try:
+            return operation(attempt)
+        except FileNotFoundError:
+            raise
+        except OSError:
+            if attempt >= retries:
+                raise
+            time.sleep(_IO_BACKOFF_SECONDS * (2 ** attempt))
 
 
 class ArtifactStore:
@@ -158,35 +205,54 @@ class ArtifactStore:
         path = self.path_for(kind, key)
         body = pickle.dumps((payload,), protocol=4)
         blob = _MAGIC + hashlib.sha256(body).digest() + body
-        self._atomic_write(path, key, lambda handle: handle.write(blob))
+        # A torn-write fault truncates the bytes here; the checksum makes
+        # the damage detectable, so a later read misses and recomputes.
+        blob = maybe_corrupt("store.put", f"{kind}/{key}", blob)
+        self._atomic_write(path, key, lambda handle: handle.write(blob),
+                           fault_key=f"{kind}/{key}")
         return path
 
     @staticmethod
-    def _atomic_write(path: pathlib.Path, key: str, writer) -> None:
+    def _atomic_write(
+        path: pathlib.Path, key: str, writer, fault_key: str = "",
+    ) -> None:
         """Write an artifact file atomically (temp file + ``os.replace``).
 
         Shared by :meth:`put` and :meth:`put_file` so the
-        concurrent-writer guarantees stay in one place.
+        concurrent-writer guarantees stay in one place.  Transient write
+        errors (including injected ``store.put`` faults, which fire
+        between the temp-file write and the rename — where a real crash
+        strands an orphan ``.tmp`` for the janitor) are retried.
 
         Args:
             path: Final artifact path (parent dirs are created).
             key: Artifact key (used for the temp-file prefix).
             writer: Callable receiving the open binary file object.
+            fault_key: Identity reported to the ``store.put`` fault site
+                (defaults to ``key``).
         """
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key}.", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                writer(handle)
-            os.replace(tmp_name, path)
-        except BaseException:
+
+        def write_once(attempt: int) -> None:
+            """One atomic write attempt (temp file, fault hook, rename)."""
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key}.", suffix=".tmp", dir=path.parent
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    writer(handle)
+                maybe_inject(
+                    "store.put", key=fault_key or key, attempt=attempt
+                )
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+        _with_io_retries(write_once)
 
     def put_file(
         self, kind: str, key: str, source: str | os.PathLike,
@@ -216,7 +282,7 @@ class ArtifactStore:
             with open(source, "rb") as src:
                 shutil.copyfileobj(src, handle)
 
-        self._atomic_write(path, key, copy_source)
+        self._atomic_write(path, key, copy_source, fault_key=f"{kind}/{key}")
         return path
 
     def get_file(
@@ -258,6 +324,7 @@ class ArtifactStore:
             if callable(close):
                 close()
         self.hits += 1
+        self._touch(path)
         return path
 
     def get_or_compute(self, kind: str, key: str, compute) -> object:
@@ -327,9 +394,17 @@ class ArtifactStore:
         if not self.enabled:
             return None
         path = self.path_for(kind, key)
+
+        def read_once(attempt: int) -> bytes:
+            """One read attempt, preceded by the ``store.get`` fault hook."""
+            maybe_inject("store.get", key=f"{kind}/{key}", attempt=attempt)
+            return path.read_bytes()
+
         try:
-            blob = path.read_bytes()
+            blob = _with_io_retries(read_once)
         except OSError:
+            # Missing file, or an I/O error that survived the retries:
+            # either way the artifact is unavailable — a miss, not a crash.
             self.misses += 1
             return None
         payload = self._decode(blob)
@@ -341,7 +416,21 @@ class ArtifactStore:
                 pass
             return None
         self.hits += 1
+        self._touch(path)
         return payload
+
+    @staticmethod
+    def _touch(path: pathlib.Path) -> None:
+        """Bump an artifact's mtime on hit (best effort).
+
+        The mtime is the recency signal the janitor's LRU-by-mtime
+        eviction orders by (:func:`repro.store.janitor.collect_garbage`),
+        so hot artifacts survive a size-quota sweep.
+        """
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - recency is advisory
+            pass
 
     @staticmethod
     def _decode(blob: bytes) -> tuple[object] | None:

@@ -1,0 +1,268 @@
+"""Store GC/janitor: orphan reaping, TTL expiry, and size-quota eviction.
+
+Long-lived stores accumulate three kinds of garbage:
+
+* **orphan temp files** — a worker SIGKILLed (or crash-faulted) between
+  writing its ``.tmp`` file and the atomic rename strands the temp file
+  forever;
+* **stale artifacts** — code and config changes move the content keys,
+  so old artifacts become unreachable but are never deleted;
+* **unbounded growth** — a busy store (the ``repro serve`` north star)
+  needs a size quota with a sane eviction order.
+
+:func:`collect_garbage` handles all three in one mtime-ordered sweep:
+reap orphans past a grace period, expire artifacts past a TTL, then
+evict least-recently-used artifacts (the store touches mtimes on read
+hits) until the total is under the quota.  Eviction is per-file
+``unlink`` — atomic with respect to concurrent readers, which see either
+a valid artifact or a plain miss, never a torn one — and every step
+tolerates races with concurrent writers.
+
+Run it standalone (``repro clean --gc ...``) or as a runner-exit hook
+(``REPRO_STORE_GC=1`` plus ``REPRO_STORE_TTL`` / ``REPRO_STORE_MAX_BYTES``;
+see :func:`gc_from_env`).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Orphan ``.tmp`` files younger than this many seconds are left alone —
+#: they may belong to a write still in flight.
+DEFAULT_TMP_GRACE_SECONDS = 3600.0
+
+_SIZE_UNITS = {
+    "b": 1, "k": 1024, "kb": 1024, "m": 1024**2, "mb": 1024**2,
+    "g": 1024**3, "gb": 1024**3, "t": 1024**4, "tb": 1024**4,
+}
+_DURATION_UNITS = {
+    "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``"512M"``, ``"2GB"``, ``"1024"``).
+
+    Args:
+        text: Size with an optional B/K/M/G/T suffix (case-insensitive).
+
+    Returns:
+        The size in bytes.
+
+    Raises:
+        ConfigError: If the string is not a valid size.
+    """
+    cleaned = text.strip().lower()
+    suffix = cleaned.lstrip("0123456789.")
+    number = cleaned[: len(cleaned) - len(suffix)]
+    unit = _SIZE_UNITS.get(suffix or "b")
+    try:
+        value = float(number)
+    except ValueError:
+        value = None
+    if value is None or value < 0 or unit is None:
+        raise ConfigError(
+            f"bad size {text!r}; expected e.g. 1024, 512K, 100M, 2G"
+        )
+    return int(value * unit)
+
+
+def parse_duration(text: str) -> float:
+    """Parse a human duration string (``"7d"``, ``"90m"``, ``"3600"``).
+
+    Args:
+        text: Duration with an optional s/m/h/d/w suffix; a bare number
+            is seconds.
+
+    Returns:
+        The duration in seconds.
+
+    Raises:
+        ConfigError: If the string is not a valid duration.
+    """
+    cleaned = text.strip().lower()
+    suffix = cleaned.lstrip("0123456789.")
+    number = cleaned[: len(cleaned) - len(suffix)]
+    unit = _DURATION_UNITS.get(suffix or "s")
+    try:
+        value = float(number)
+    except ValueError:
+        value = None
+    if value is None or value < 0 or unit is None:
+        raise ConfigError(
+            f"bad duration {text!r}; expected e.g. 3600, 90m, 12h, 7d"
+        )
+    return value * unit
+
+
+@dataclass
+class GCStats:
+    """Outcome of one janitor sweep.
+
+    Attributes:
+        reaped_tmp: Orphan temp files removed (or, dry run, removable).
+        expired: Artifacts past the TTL.
+        evicted: Artifacts evicted by the size quota (LRU-by-mtime).
+        freed_bytes: Bytes freed by all of the above.
+        kept_files: Artifact files surviving the sweep.
+        kept_bytes: Their total size.
+        dry_run: Whether the sweep only reported (nothing deleted).
+    """
+
+    reaped_tmp: int = 0
+    expired: int = 0
+    evicted: int = 0
+    freed_bytes: int = 0
+    kept_files: int = 0
+    kept_bytes: int = 0
+    dry_run: bool = False
+    #: Paths removed (or removable), relative to the store root.
+    removed: list[str] = field(default_factory=list, repr=False)
+
+    def render(self, root) -> str:
+        """One-line human summary for the CLI.
+
+        Args:
+            root: The store root the sweep ran over.
+
+        Returns:
+            The summary line.
+        """
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"{root}: {verb} {self.reaped_tmp} orphan temp file(s), "
+            f"{self.expired} expired, {self.evicted} evicted "
+            f"({self.freed_bytes} bytes); kept {self.kept_files} "
+            f"artifact(s), {self.kept_bytes} bytes"
+        )
+
+
+def _remove(path: pathlib.Path, size: int, stats: GCStats, root) -> bool:
+    """Delete one file for the sweep (or just record it in a dry run)."""
+    if not stats.dry_run:
+        try:
+            path.unlink()
+        except OSError:
+            # A concurrent writer/reader beat us to it (or replaced it);
+            # skip rather than fail the sweep.
+            return False
+    stats.freed_bytes += size
+    stats.removed.append(str(path.relative_to(root)))
+    return True
+
+
+def collect_garbage(
+    store,
+    ttl_seconds: float | None = None,
+    max_bytes: int | None = None,
+    reap_tmp: bool = True,
+    tmp_grace_seconds: float = DEFAULT_TMP_GRACE_SECONDS,
+    dry_run: bool = False,
+    now: float | None = None,
+) -> GCStats:
+    """Run one janitor sweep over a store.
+
+    Args:
+        store: The :class:`~repro.store.ArtifactStore` to sweep.
+        ttl_seconds: Expire artifacts whose mtime is older than this
+            (``None`` disables TTL expiry).
+        max_bytes: After reaping and expiry, evict least-recently-used
+            artifacts until the total size is at most this (``None``
+            disables the quota).
+        reap_tmp: Remove orphan ``.tmp`` files older than the grace
+            period.
+        tmp_grace_seconds: Orphan age threshold (in-flight writes are
+            younger than this).
+        dry_run: Report what would be removed without deleting.
+        now: Reference time (defaults to ``time.time()``; injectable for
+            tests).
+
+    Returns:
+        The sweep's :class:`GCStats`.
+    """
+    stats = GCStats(dry_run=dry_run)
+    root = store.root
+    if not root.is_dir():
+        return stats
+    if now is None:
+        now = time.time()
+
+    artifacts: list[tuple[float, int, pathlib.Path]] = []
+    for path in sorted(root.rglob("*")):
+        try:
+            if not path.is_file():
+                continue
+            stat = path.stat()
+        except OSError:
+            continue
+        if path.name.endswith(".tmp"):
+            if reap_tmp and now - stat.st_mtime >= tmp_grace_seconds:
+                if _remove(path, stat.st_size, stats, root):
+                    stats.reaped_tmp += 1
+            continue
+        artifacts.append((stat.st_mtime, stat.st_size, path))
+
+    survivors: list[tuple[float, int, pathlib.Path]] = []
+    for mtime, size, path in artifacts:
+        if ttl_seconds is not None and now - mtime >= ttl_seconds:
+            if _remove(path, size, stats, root):
+                stats.expired += 1
+                continue
+        survivors.append((mtime, size, path))
+
+    if max_bytes is not None:
+        total = sum(size for _, size, _ in survivors)
+        survivors.sort()  # oldest mtime first = least recently used
+        kept: list[tuple[float, int, pathlib.Path]] = []
+        for index, (mtime, size, path) in enumerate(survivors):
+            if total > max_bytes:
+                if _remove(path, size, stats, root):
+                    stats.evicted += 1
+                    total -= size
+                    continue
+            kept.append((mtime, size, path))
+        survivors = kept
+
+    stats.kept_files = len(survivors)
+    stats.kept_bytes = sum(size for _, size, _ in survivors)
+
+    if not dry_run:
+        # Prune now-empty kind directories (bottom-up), tolerating races.
+        for path in sorted(root.rglob("*"), reverse=True):
+            if path.is_dir():
+                try:
+                    path.rmdir()
+                except OSError:
+                    pass
+    return stats
+
+
+def gc_from_env(store, environ=os.environ) -> GCStats | None:
+    """Run the env-configured janitor sweep, if one is configured.
+
+    This is the runner-exit hook: when ``REPRO_STORE_GC=1``, every
+    battery invocation ends with a sweep using ``REPRO_STORE_TTL``
+    (duration syntax) and/or ``REPRO_STORE_MAX_BYTES`` (size syntax).
+
+    Args:
+        store: The store to sweep.
+        environ: Environment mapping (injectable for tests).
+
+    Returns:
+        The sweep's stats, or ``None`` when the hook is not enabled or
+        the store is disabled.
+    """
+    if environ.get("REPRO_STORE_GC", "0") != "1" or not store.enabled:
+        return None
+    ttl = environ.get("REPRO_STORE_TTL", "")
+    quota = environ.get("REPRO_STORE_MAX_BYTES", "")
+    return collect_garbage(
+        store,
+        ttl_seconds=parse_duration(ttl) if ttl else None,
+        max_bytes=parse_size(quota) if quota else None,
+    )

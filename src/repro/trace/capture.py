@@ -388,6 +388,9 @@ class TraceReader:
 
     def _read_payload(self, region_index: int) -> bytes:
         """Read and CRC-validate one region's raw payload bytes."""
+        from repro.faults import maybe_inject
+
+        maybe_inject("trace.read", key=f"{self.path}#{region_index}")
         offset, length, crc = self._offsets[region_index]
         with self._open() as file:
             file.seek(offset)

@@ -440,3 +440,97 @@ def test_prefetch_scoped_to_selected_experiments(tmp_path, monkeypatch):
     assert calls == []  # fig1 needs neither profiles nor full runs
     battery.run_experiments(runner, ["table3"])
     assert calls == [(None, ("profiles",))]  # selection-only figure
+
+
+class TestFaultToleranceCLI:
+    """Exit-code contract and recovery flags of the hardened CLI."""
+
+    @pytest.fixture(autouse=True)
+    def clean_fault_plan(self):
+        """``--faults`` installs a global plan; never leak it."""
+        from repro.faults import uninstall_plan
+
+        yield
+        uninstall_plan()
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        """Ctrl-C exits 130 with a one-line message, no traceback."""
+
+        def _interrupt(args, parser):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli.COMMANDS, "machines", _interrupt)
+        assert cli.main(["machines"]) == 130
+        captured = capsys.readouterr()
+        assert captured.err == "repro: interrupted\n"
+        assert "Traceback" not in captured.err
+
+    def test_retry_exhaustion_maps_to_error_exit_one(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A task that exhausts its retries is a clean CLI error."""
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        code = cli.main([
+            "run", "--quick", "--only", "table3", "--workers", "2",
+            "--faults", "runner.task:exception:max_attempts=99",
+            "--max-retries", "0",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("repro: error: gave up on")
+        assert "Traceback" not in captured.err
+
+    def test_resume_finishes_a_partially_failed_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Failed run (32t passes fault) + ``--resume`` rerun completes,
+        skipping the checkpointed 8t passes."""
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert cli.main([
+            "run", "--quick", "--only", "table3", "--workers", "2",
+            "--faults", "runner.task:exception:max_attempts=99,match=32t",
+            "--max-retries", "0",
+        ]) == 1
+        capsys.readouterr()
+
+        from repro.faults import uninstall_plan
+
+        uninstall_plan()
+        assert cli.main([
+            "run", "--quick", "--only", "table3", "--workers", "2",
+            "--resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "run report:" in out and " resumed" in out
+
+    def test_clean_gc_sweeps_instead_of_deleting(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """``repro clean --gc`` evicts by quota but keeps the store dir."""
+        import os
+        import time
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        store = ArtifactStore()
+        for i in range(3):
+            store.put("demo", store.derive_key(i=i), "x" * 500)
+        orphan = store.root / "demo" / "dead.tmp"
+        orphan.write_bytes(b"junk")
+        stamp = time.time() - 7200
+        os.utime(orphan, (stamp, stamp))
+
+        assert cli.main([
+            "clean", "--gc", "--max-bytes", "0", "--tmp-grace", "1h",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 orphan temp file(s)" in out
+        assert "3 evicted" in out
+        assert store.size_bytes() == 0
+
+    def test_clean_gc_flags_require_gc(self, capsys):
+        """TTL/quota flags without --gc are a usage error (exit 2)."""
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["clean", "--ttl", "1h"])
+        assert excinfo.value.code == 2
+        assert "need --gc" in capsys.readouterr().err

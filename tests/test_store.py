@@ -227,3 +227,145 @@ class TestParallelPrefetch:
             serial.full(BENCH, 8).to_state()
             == parallel.full(BENCH, 8).to_state()
         )
+
+
+class TestJanitor:
+    """GC sweeps: orphan reaping, TTL expiry, LRU quota eviction."""
+
+    def _fill(self, store, n=4, pad=1000):
+        """Store ``n`` artifacts and return their keys in insert order."""
+        keys = []
+        for i in range(n):
+            key = store.derive_key(i=i)
+            store.put("demo", key, {"i": i, "pad": "x" * pad})
+            keys.append(key)
+        return keys
+
+    def test_parse_size(self):
+        from repro.store.janitor import parse_size
+
+        assert parse_size("1024") == 1024
+        assert parse_size("2K") == 2048
+        assert parse_size("1.5kb") == 1536
+        assert parse_size("3M") == 3 * 1024**2
+        assert parse_size(" 2G ") == 2 * 1024**3
+        for bad in ("", "12Q", "-5", "big"):
+            with pytest.raises(common.ConfigError):
+                parse_size(bad)
+
+    def test_parse_duration(self):
+        from repro.store.janitor import parse_duration
+
+        assert parse_duration("3600") == 3600.0
+        assert parse_duration("90m") == 5400.0
+        assert parse_duration("12h") == 43200.0
+        assert parse_duration("7d") == 604800.0
+        assert parse_duration("1w") == 604800.0
+        for bad in ("", "7y", "-1", "soon"):
+            with pytest.raises(common.ConfigError):
+                parse_duration(bad)
+
+    def test_reaps_orphan_tmp_past_grace(self, store):
+        import os
+        import time
+
+        from repro.store.janitor import collect_garbage
+
+        self._fill(store, n=1)
+        young = store.root / "demo" / "young.tmp"
+        young.write_bytes(b"in flight")
+        old = store.root / "demo" / "old.tmp"
+        old.write_bytes(b"stranded")
+        stamp = time.time() - 7200
+        os.utime(old, (stamp, stamp))
+
+        stats = collect_garbage(store, tmp_grace_seconds=3600)
+        assert stats.reaped_tmp == 1
+        assert young.exists() and not old.exists()
+        assert stats.kept_files == 1  # the artifact; .tmp never counts
+
+    def test_ttl_expires_old_artifacts(self, store):
+        import os
+        import time
+
+        from repro.store.janitor import collect_garbage
+
+        keys = self._fill(store, n=3)
+        stale = store.path_for("demo", keys[0])
+        stamp = time.time() - 7200
+        os.utime(stale, (stamp, stamp))
+
+        stats = collect_garbage(store, ttl_seconds=3600)
+        assert stats.expired == 1 and stats.kept_files == 2
+        assert store.get("demo", keys[0]) is None
+        assert store.get("demo", keys[1]) is not None
+
+    def test_quota_evicts_lru_and_read_hits_refresh(self, store):
+        import os
+        import time
+
+        from repro.store.janitor import collect_garbage
+
+        keys = self._fill(store, n=3)
+        # Age everything, then *read* the oldest: the hit's mtime touch
+        # must promote it past the untouched middle artifact.
+        for i, key in enumerate(keys):
+            stamp = time.time() - 1000 * (len(keys) - i)
+            os.utime(store.path_for("demo", key), (stamp, stamp))
+        assert store.get("demo", keys[0]) is not None
+
+        one = store.path_for("demo", keys[0]).stat().st_size
+        stats = collect_garbage(store, max_bytes=2 * one)
+        assert stats.evicted == 1
+        assert store.has("demo", keys[0])      # recently read: kept
+        assert not store.has("demo", keys[1])  # LRU: evicted
+        assert store.has("demo", keys[2])
+        assert stats.kept_bytes <= 2 * one
+
+    def test_dry_run_deletes_nothing(self, store):
+        from repro.store.janitor import collect_garbage
+
+        keys = self._fill(store, n=2)
+        stats = collect_garbage(store, max_bytes=0, dry_run=True)
+        assert stats.evicted == 2 and stats.dry_run
+        assert "would remove" in stats.render(store.root)
+        assert all(store.has("demo", k) for k in keys)
+
+    def test_prunes_empty_kind_directories(self, store):
+        from repro.store.janitor import collect_garbage
+
+        self._fill(store, n=2)
+        assert (store.root / "demo").is_dir()
+        collect_garbage(store, max_bytes=0)
+        assert not (store.root / "demo").exists()
+
+    def test_missing_root_is_empty_sweep(self, tmp_path):
+        from repro.store.janitor import collect_garbage
+
+        store = ArtifactStore(root=tmp_path / "never-created")
+        stats = collect_garbage(store)
+        assert stats.kept_files == 0 and stats.freed_bytes == 0
+
+    def test_gc_from_env_gating(self, store):
+        from repro.store.janitor import gc_from_env
+
+        self._fill(store, n=2)
+        assert gc_from_env(store, {}) is None
+        assert gc_from_env(store, {"REPRO_STORE_GC": "0"}) is None
+        disabled = ArtifactStore(root=store.root, enabled=False)
+        assert gc_from_env(disabled, {"REPRO_STORE_GC": "1"}) is None
+
+        stats = gc_from_env(store, {
+            "REPRO_STORE_GC": "1", "REPRO_STORE_MAX_BYTES": "0",
+        })
+        assert stats is not None and stats.evicted == 2
+
+    def test_runner_exit_hook_sweeps(self, tmp_path, monkeypatch):
+        """REPRO_STORE_GC=1 makes every battery invocation end in a sweep."""
+        from repro.experiments import battery
+
+        monkeypatch.setenv("REPRO_STORE_GC", "1")
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "0")
+        runner = make_runner(tmp_path, workers=0)
+        battery.run_experiments(runner, ["fig1"])
+        assert runner.store.size_bytes() == 0
