@@ -183,6 +183,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="also copy the trace into the artifact store (content-keyed)",
     )
 
+    corpus_p = trace_sub.add_parser(
+        "corpus",
+        help="store-backed trace corpus: record, list, replay, verify",
+    )
+    corpus_sub = corpus_p.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_record_p = corpus_sub.add_parser(
+        "record", help="batch-record fuzzer seeds into the corpus"
+    )
+    corpus_record_p.add_argument(
+        "seeds",
+        help="seed spec: a single seed (7), an inclusive range (1-4), "
+             "or a comma list (3,5,9)",
+    )
+    corpus_record_p.add_argument(
+        "--threads", type=int, default=8,
+        help="thread count to record (default 8)",
+    )
+    corpus_record_p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0)",
+    )
+    corpus_record_p.add_argument(
+        "--name", default="default",
+        help="corpus name (default 'default')",
+    )
+
+    corpus_list_p = corpus_sub.add_parser(
+        "list", help="list the corpus index"
+    )
+    corpus_list_p.add_argument(
+        "--name", default="default",
+        help="corpus name (default 'default')",
+    )
+
+    corpus_replay_p = corpus_sub.add_parser(
+        "replay", help="sharded parallel replay of one corpus entry"
+    )
+    corpus_replay_p.add_argument(
+        "entry", help="entry label (e.g. fuzz-11/2t) or workload name",
+    )
+    corpus_replay_p.add_argument(
+        "--shards", type=int, default=3,
+        help="shard count (default 3, capped at the region count)",
+    )
+    corpus_replay_p.add_argument(
+        "--workers", type=int, default=0,
+        help="process count for the shard fan-out (default 0 = serial)",
+    )
+    corpus_replay_p.add_argument(
+        "--backend", default="inclusive",
+        help="hierarchy backend to replay on (default inclusive)",
+    )
+    corpus_replay_p.add_argument(
+        "--full", action="store_true",
+        help="also run the detailed full simulation (merged across shards)",
+    )
+    corpus_replay_p.add_argument(
+        "--name", default="default",
+        help="corpus name (default 'default')",
+    )
+
+    corpus_verify_p = corpus_sub.add_parser(
+        "verify",
+        help="corpus-wide differential-conformance sweep "
+             "(every entry x every backend; exit 1 on any mismatch)",
+    )
+    corpus_verify_p.add_argument(
+        "--shards", type=int, default=3,
+        help="shard count of the sharded replay leg (default 3)",
+    )
+    corpus_verify_p.add_argument(
+        "--workers", type=int, default=0,
+        help="process count for the sweep fan-out (default 0 = serial)",
+    )
+    corpus_verify_p.add_argument(
+        "--name", default="default",
+        help="corpus name (default 'default')",
+    )
+
     bench_p = sub.add_parser(
         "bench", help="run the pytest benchmark harness"
     )
@@ -531,11 +611,216 @@ def cmd_trace_inspect(
     return 0
 
 
+def _parse_seed_spec(spec: str) -> list[int]:
+    """Parse a corpus seed spec: ``7``, ``1-4`` (inclusive), or ``3,5,9``.
+
+    Args:
+        spec: The seed specification string.
+
+    Returns:
+        The seed list, in spec order.
+
+    Raises:
+        ConfigError: On a malformed spec.
+    """
+    seeds: list[int] = []
+    try:
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            lo, dash, hi = part.partition("-")
+            if dash:
+                lo, hi = int(lo), int(hi)
+                if hi < lo:
+                    raise ConfigError(
+                        f"seed range {part!r} is empty ({hi} < {lo})"
+                    )
+                seeds.extend(range(lo, hi + 1))
+            else:
+                seeds.append(int(part))
+    except ValueError:
+        raise ConfigError(
+            f"bad seed spec {spec!r}: use a seed (7), an inclusive "
+            f"range (1-4), or a comma list (3,5,9)"
+        ) from None
+    if not seeds:
+        raise ConfigError(f"seed spec {spec!r} names no seeds")
+    return seeds
+
+
+def _open_corpus(name: str):
+    """Open a named corpus over the default artifact store."""
+    from repro.trace.corpus import TraceCorpus
+
+    return TraceCorpus(ArtifactStore(), name=name)
+
+
+def _find_corpus_entry(corpus, wanted: str):
+    """Resolve one corpus entry by label or workload name, loudly."""
+    entries = corpus.entries()
+    matches = [
+        e for e in entries if wanted in (e.label, e.workload)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    known = [e.label for e in entries]
+    if not matches:
+        raise ConfigError(
+            f"corpus {corpus.name!r} has no entry {wanted!r}; "
+            f"entries: {known or '(none — record some first)'}"
+        )
+    raise ConfigError(
+        f"{wanted!r} is ambiguous in corpus {corpus.name!r}: "
+        f"{[e.label for e in matches]}; use the full label"
+    )
+
+
+def cmd_trace_corpus_record(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace corpus record``: batch-record fuzz seeds."""
+    corpus = _open_corpus(args.name)
+    seeds = _parse_seed_spec(args.seeds)
+    entries = corpus.record_fuzz_range(
+        seeds, num_threads=args.threads, scale=args.scale
+    )
+    for entry in entries:
+        print(
+            f"recorded {entry.label}: {entry.num_regions} regions "
+            f"({entry.fingerprint})"
+        )
+    print(
+        f"corpus {corpus.name!r}: {len(corpus.entries())} entries "
+        f"in {corpus.store.root}"
+    )
+    return 0
+
+
+def cmd_trace_corpus_list(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace corpus list``: print the corpus index."""
+    corpus = _open_corpus(args.name)
+    entries = corpus.entries()
+    rows = [
+        [e.label, str(e.num_regions), f"{e.scale:g}",
+         e.fingerprint.rsplit(":", 1)[-1][:16], e.store_key[:16]]
+        for e in entries
+    ]
+    print(format_table(
+        ["entry", "regions", "scale", "sha256[:16]", "store key[:16]"],
+        rows, title=f"Corpus {corpus.name!r} ({len(entries)} entries)",
+    ))
+    return 0
+
+
+def cmd_trace_corpus_replay(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace corpus replay``: sharded replay of one entry."""
+    import shutil
+    import tempfile
+
+    from repro.profiling.profiler import profiles_digest
+    from repro.trace.corpus import conformance_machine
+    from repro.trace.shard import ShardedReplay, split_trace
+
+    corpus = _open_corpus(args.name)
+    entry = _find_corpus_entry(corpus, args.entry)
+    path = corpus.resolve(entry)
+    machine = conformance_machine(entry.num_threads, args.backend)
+    shards = min(max(args.shards, 1), entry.num_regions)
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-corpus-replay-"))
+    try:
+        shard_paths = split_trace(path, workdir, num_shards=shards)
+        replay = ShardedReplay(shard_paths, machine, workers=args.workers)
+        profiles, full = replay.run(
+            want_profiles=True, want_full=args.full
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(
+        f"replayed {entry.label} from the corpus: {len(profiles)} regions "
+        f"across {shards} shard(s), {args.workers} worker(s) "
+        f"on {machine.name}"
+    )
+    print(f"profile digest: {profiles_digest(profiles)}")
+    if full is not None:
+        app = full.app
+        print(
+            f"full run: {app.cycles:.0f} cycles, "
+            f"IPC {app.instructions / app.cycles:.3f}"
+        )
+    if replay.report.noteworthy():
+        print(replay.report.render())
+    return 0
+
+
+def cmd_trace_corpus_verify(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace corpus verify``: the conformance sweep (exit 1 on
+    any digest mismatch)."""
+    import time
+
+    corpus = _open_corpus(args.name)
+    started = time.perf_counter()
+    results = corpus.verify(num_shards=args.shards, workers=args.workers)
+    elapsed = time.perf_counter() - started
+    if not results:
+        print(
+            f"corpus {corpus.name!r} is empty — record entries first "
+            f"(`repro trace corpus record`)"
+        )
+        return 0
+    def _pair(u: str, s: str) -> str:
+        return u if u == s else f"{u}!={s}"
+
+    rows = [
+        [r["label"], r["backend"],
+         _pair(r["unsharded"], r["sharded"]),
+         _pair(r["unsharded_full"], r["sharded_full"]),
+         "ok" if r["ok"] else "MISMATCH"]
+        for r in results
+    ]
+    print(format_table(
+        ["entry", "backend", "profiles", "full run", "verdict"], rows,
+        title=f"Conformance sweep ({len(results)} checks, "
+              f"{args.workers} worker(s), {elapsed:.1f}s)",
+    ))
+    bad = [r for r in results if not r["ok"]]
+    if bad:
+        print(
+            f"VERIFY FAILED: {len(bad)} of {len(results)} checks "
+            f"mismatched", file=sys.stderr,
+        )
+        return 1
+    print(f"verify OK: {len(results)} checks bit-identical")
+    return 0
+
+
+CORPUS_COMMANDS = {
+    "record": cmd_trace_corpus_record,
+    "list": cmd_trace_corpus_list,
+    "replay": cmd_trace_corpus_replay,
+    "verify": cmd_trace_corpus_verify,
+}
+
+
+def cmd_trace_corpus(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``repro trace corpus``: dispatch to the corpus subcommands."""
+    return CORPUS_COMMANDS[args.corpus_command](args, parser)
+
+
 TRACE_COMMANDS = {
     "record": cmd_trace_record,
     "replay": cmd_trace_replay,
     "inspect": cmd_trace_inspect,
     "fuzz": cmd_trace_fuzz,
+    "corpus": cmd_trace_corpus,
 }
 
 

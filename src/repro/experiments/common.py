@@ -192,12 +192,11 @@ def _is_retryable(exc: BaseException) -> bool:
 
 @dataclass
 class TaskReport:
-    """End-of-run disposition of one expensive pass.
+    """End-of-run disposition of one fanned-out task.
 
     Attributes:
-        name: Workload name.
-        num_threads: Thread count.
-        machine: Registry machine name, or ``None`` for the default.
+        label: Human identity of the task (e.g. ``"npb-is/8t"`` for a
+            battery pass, ``"shard[3:6]"`` for a shard replay).
         attempts: Attempts actually executed.
         disposition: ``"completed"``, ``"failed"``, or ``"resumed"``
             (skipped because the checkpoint journal had it).
@@ -205,18 +204,10 @@ class TaskReport:
             are the fault sites hit, when the failures were injected).
     """
 
-    name: str
-    num_threads: int
-    machine: str | None
+    label: str
     attempts: int = 0
     disposition: str = "pending"
     errors: list[str] = field(default_factory=list)
-
-    @property
-    def label(self) -> str:
-        """Human identity of the pass."""
-        suffix = f"@{self.machine}" if self.machine else ""
-        return f"{self.name}/{self.num_threads}t{suffix}"
 
 
 @dataclass
@@ -280,16 +271,33 @@ class RunReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class FanoutTask:
+    """One unit of work for :class:`FaultTolerantFanout`.
+
+    Attributes:
+        key: Stable task identity — the retry-backoff/journal key (for
+            battery passes this is the artifact-store key; for trace
+            shards it covers the shard's content fingerprint and range).
+        label: Human identity used in reports and error messages.
+        args: Positional arguments of the worker function; the fan-out
+            appends ``(attempt, timeout)`` per attempt, so workers can
+            report fault-injection attempts and enforce time budgets.
+        meta: Opaque caller bookkeeping, handed back untouched with the
+            task in the ``on_result`` callback (never pickled).
+    """
+
+    key: str
+    label: str
+    args: tuple
+    meta: object = None
+
+
 @dataclass
 class _TaskState:
-    """Parent-side bookkeeping for one in-flight prefetch task."""
+    """Parent-side bookkeeping for one in-flight fan-out task."""
 
-    name: str
-    num_threads: int
-    machine: str | None
-    want_profiles: bool
-    want_full: bool
-    key: str
+    task: FanoutTask
     report: TaskReport
     attempt: int = 0
 
@@ -334,6 +342,221 @@ def _time_limit(seconds: float | None, what: str):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class FaultTolerantFanout:
+    """Reusable fault-tolerant task fan-out over a process pool.
+
+    The execution engine behind :meth:`ExperimentRunner.prefetch`,
+    :class:`repro.trace.shard.ShardedReplay`, and the corpus conformance
+    sweep: tasks run in a :class:`~concurrent.futures.ProcessPoolExecutor`
+    (or serially in-process when ``workers`` <= 1), failed attempts are
+    retried with deterministic backoff under :class:`RetryPolicy`, a
+    broken pool is respawned with only the incomplete tasks resubmitted,
+    repeated pool failures degrade to serial execution, and a task that
+    exhausts its budget raises
+    :class:`~repro.errors.RetryExhaustedError` only after every other
+    task has been drained.
+
+    ``fn`` must be a picklable module-level callable taking one tuple:
+    ``(*task.args, attempt, timeout)``.  It is responsible for honoring
+    the timeout (see :func:`_time_limit`) and reporting ``attempt`` to
+    fault-injection hooks, the convention :func:`_compute_pair` and the
+    shard-replay workers follow.
+
+    Attributes:
+        fn: The worker function.
+        workers: Process count; <= 1 executes serially in-process.
+        retry: Retry/backoff/timeout budget.
+        report: Structured report accumulating per-task dispositions,
+            pool failures, and the serial-fallback flag.
+    """
+
+    fn: object
+    workers: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy.from_env)
+    report: RunReport = field(default_factory=RunReport)
+
+    def run(self, tasks: list[FanoutTask], on_result=None) -> dict:
+        """Execute every task to completion, with retries and recovery.
+
+        Args:
+            tasks: The work units.  One :class:`TaskReport` per task is
+                appended to :attr:`report` up front.
+            on_result: Optional callback ``(task, result)`` invoked in
+                completion order, in the parent process, once per
+                successfully completed task (e.g. to memoize/journal).
+
+        Returns:
+            ``{task.key: result}`` for every completed task.
+
+        Raises:
+            RetryExhaustedError: After draining everything, when any
+                task ran out of attempts.
+        """
+        states = [_TaskState(task=t, report=TaskReport(label=t.label))
+                  for t in tasks]
+        self.report.tasks.extend(s.report for s in states)
+        results: dict = {}
+        failed: list[_TaskState] = []
+        if self.workers <= 1:
+            self._run_serial(states, results, on_result, failed)
+        else:
+            self._run_pool(states, results, on_result, failed)
+        if failed:
+            raise RetryExhaustedError(
+                "gave up on "
+                + ", ".join(
+                    f"{s.report.label} after {s.report.attempts} attempt(s)"
+                    f" [{s.report.errors[-1]}]"
+                    for s in failed
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _attempt_args(self, state: _TaskState) -> tuple:
+        """The worker-function argument tuple for a task's next attempt."""
+        return (*state.task.args, state.attempt, self.retry.timeout)
+
+    def _record_failure(self, state: _TaskState, exc: BaseException) -> bool:
+        """Charge a failed attempt; return whether to retry.
+
+        Args:
+            state: The failed task (its attempt counter is advanced).
+            exc: The failure.
+
+        Returns:
+            ``True`` when the task should be resubmitted.
+        """
+        state.attempt += 1
+        state.report.attempts = state.attempt
+        state.report.errors.append(f"{type(exc).__name__}: {exc}")
+        if not _is_retryable(exc) or state.attempt > self.retry.max_retries:
+            state.report.disposition = "failed"
+            return False
+        time.sleep(self.retry.backoff_seconds(state.task.key, state.attempt))
+        return True
+
+    def _complete(
+        self, state: _TaskState, result: object, results: dict, on_result
+    ) -> None:
+        """Absorb one completed task: report, collect, notify."""
+        state.report.attempts = state.attempt + 1
+        state.report.disposition = "completed"
+        results[state.task.key] = result
+        if on_result is not None:
+            on_result(state.task, result)
+
+    def _run_serial(
+        self,
+        states: list[_TaskState],
+        results: dict,
+        on_result,
+        failed: list[_TaskState],
+    ) -> int:
+        """Serial executor: finish tasks in-process with retries.
+
+        ``crash`` faults degrade to exceptions here (the parent process
+        is not sacrificial), so even a crash-faulting plan completes.
+
+        Args:
+            states: Tasks still to run.
+            results: Sink for completed results (keyed by task key).
+            on_result: Completion callback (see :meth:`run`).
+            failed: Sink for tasks that exhaust their budget.
+
+        Returns:
+            Number of tasks completed.
+        """
+        completed = 0
+        for state in states:
+            while True:
+                try:
+                    result = self.fn(self._attempt_args(state))
+                except Exception as exc:
+                    if self._record_failure(state, exc):
+                        continue
+                    failed.append(state)
+                    break
+                self._complete(state, result, results, on_result)
+                completed += 1
+                break
+        return completed
+
+    def _run_pool(
+        self,
+        states: list[_TaskState],
+        results: dict,
+        on_result,
+        failed: list[_TaskState],
+    ) -> None:
+        """Drive the process-pool fan-out with retry and pool recovery."""
+        pending = deque(states)
+        while pending:
+            if self.report.pool_failures > self.retry.max_pool_failures:
+                # The pool keeps dying — stop burning workers and finish
+                # the remainder serially in this process.
+                self.report.serial_fallback = True
+                self._run_serial(list(pending), results, on_result, failed)
+                pending.clear()
+                break
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_worker_init
+            )
+            broken = False
+            try:
+                futures = {
+                    pool.submit(self.fn, self._attempt_args(s)): s
+                    for s in pending
+                }
+                pending.clear()
+                while futures:
+                    done, _ = wait(
+                        list(futures), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        state = futures.pop(future)
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            # A worker died (crash fault, OOM kill, ...).
+                            # Charge the attempt to every task still in
+                            # flight — the culprit is indistinguishable —
+                            # and respawn for the incomplete remainder.
+                            broken = True
+                            self.report.pool_failures += 1
+                            victims = [state, *futures.values()]
+                            futures.clear()
+                            for victim in victims:
+                                if self._record_failure(
+                                    victim, BrokenProcessPool(
+                                        "worker process died"
+                                    )
+                                ):
+                                    pending.append(victim)
+                                else:
+                                    failed.append(victim)
+                            break
+                        except Exception as exc:
+                            if self._record_failure(state, exc):
+                                futures[pool.submit(
+                                    self.fn, self._attempt_args(state)
+                                )] = state
+                            else:
+                                failed.append(state)
+                        else:
+                            self._complete(state, result, results, on_result)
+                    if broken:
+                        break
+            finally:
+                # cancel_futures so a KeyboardInterrupt (or fatal error)
+                # tears the pool down instead of waiting out queued work.
+                pool.shutdown(wait=not broken, cancel_futures=True)
 
 
 def _workload_identity(name: str) -> str:
@@ -565,7 +788,7 @@ class ExperimentRunner:
         checkpointed: dict[str, set[str]] = {}
         if self.resume and journal is not None:
             checkpointed = journal.completed_passes()
-        tasks: list[_TaskState] = []
+        tasks: list[FanoutTask] = []
         store_root = None
         if self.store is not None and self.store.enabled:
             store_root = str(self.store.root)
@@ -592,20 +815,20 @@ class ExperimentRunner:
                 if checkpointed.get(akey):
                     self.report.resumed += 1
                 continue
-            tasks.append(_TaskState(
-                name=name, num_threads=num_threads, machine=machine,
-                want_profiles=want_profiles, want_full=want_full, key=akey,
-                report=TaskReport(
-                    name=name, num_threads=num_threads, machine=machine
-                ),
+            tasks.append(FanoutTask(
+                key=akey,
+                label=_task_fault_key(name, num_threads, machine),
+                args=(name, num_threads, self.scale, store_root,
+                      want_profiles, want_full, machine),
+                meta=memo_key,
             ))
         if not tasks or self.workers <= 1:
             return 0
         from repro.machines import MACHINE_SPECS
 
         runtime_only = sorted({
-            t.machine for t in tasks
-            if t.machine is not None and t.machine not in MACHINE_SPECS
+            t.meta[2] for t in tasks
+            if t.meta[2] is not None and t.meta[2] not in MACHINE_SPECS
         })
         if runtime_only:
             # Runtime registrations are per-process; pool workers would
@@ -615,206 +838,50 @@ class ExperimentRunner:
                 f"visible to worker processes; run with workers <= 1 or "
                 f"add them to repro.machines.specs.MACHINE_SPECS"
             )
-        self.report.tasks.extend(t.report for t in tasks)
-        return self._fan_out(tasks, store_root, journal)
+        completed = 0
 
-    # ------------------------------------------------------------------
-    # Fault-tolerant fan-out
-    # ------------------------------------------------------------------
+        def _absorb(task: FanoutTask, result: tuple) -> None:
+            """Memoize/journal one completed pass as it lands."""
+            nonlocal completed
+            _, _, _, payload = result
+            completed += self._ingest(task, payload, journal)
 
-    def _task_tuple(self, state: _TaskState, store_root: str | None) -> tuple:
-        """The ``_compute_pair`` argument for a task's next attempt."""
-        return (
-            state.name, state.num_threads, self.scale, store_root,
-            state.want_profiles, state.want_full, state.machine,
-            state.attempt, self.retry.timeout,
+        fanout = FaultTolerantFanout(
+            fn=_compute_pair, workers=self.workers,
+            retry=self.retry, report=self.report,
         )
+        fanout.run(tasks, on_result=_absorb)
+        return completed
 
     def _ingest(
-        self, state: _TaskState, states: dict, journal: RunJournal | None
+        self, task: FanoutTask, states: dict, journal: RunJournal | None
     ) -> int:
-        """Absorb one completed task: memoize, journal, report.
+        """Absorb one completed pass: memoize and journal it.
 
         Args:
-            state: The completed task.
+            task: The completed fan-out task (``meta`` is the memo key).
             states: The worker's ``{"profiles": ..., "full": ...}`` payload.
             journal: Checkpoint journal (``None`` = no checkpointing).
 
         Returns:
             Number of pass kinds completed (for the prefetch count).
         """
-        memo_key = (state.name, state.num_threads, state.machine)
+        name, num_threads, machine = task.meta
         completed = 0
         kinds: list[str] = []
         if "profiles" in states:
-            self._profiles[memo_key] = [
+            self._profiles[task.meta] = [
                 RegionProfile.from_state(s) for s in states["profiles"]
             ]
             completed += 1
             kinds.append("profiles")
         if "full" in states:
-            self._fulls[memo_key] = FullRunResult.from_state(states["full"])
+            self._fulls[task.meta] = FullRunResult.from_state(states["full"])
             completed += 1
             kinds.append("full")
-        state.report.attempts = state.attempt + 1
-        state.report.disposition = "completed"
         if journal is not None:
             journal.record_pass(
-                state.key, state.name, state.num_threads, state.machine,
-                tuple(kinds),
-            )
-        return completed
-
-    def _record_failure(self, state: _TaskState, exc: BaseException) -> bool:
-        """Charge a failed attempt; return whether to retry.
-
-        Args:
-            state: The failed task (its attempt counter is advanced).
-            exc: The failure.
-
-        Returns:
-            ``True`` when the task should be resubmitted.
-        """
-        state.attempt += 1
-        state.report.attempts = state.attempt
-        state.report.errors.append(f"{type(exc).__name__}: {exc}")
-        if not _is_retryable(exc) or state.attempt > self.retry.max_retries:
-            state.report.disposition = "failed"
-            return False
-        time.sleep(self.retry.backoff_seconds(state.key, state.attempt))
-        return True
-
-    def _run_serial(
-        self,
-        states: list[_TaskState],
-        store_root: str | None,
-        journal: RunJournal | None,
-        failed: list[_TaskState],
-    ) -> int:
-        """Serial-fallback executor: finish tasks in-process with retries.
-
-        ``crash`` faults degrade to exceptions here (the parent process
-        is not sacrificial), so even a crash-faulting plan completes.
-
-        Args:
-            states: Tasks still to run.
-            store_root: Store root for worker-side persistence.
-            journal: Checkpoint journal.
-            failed: Sink for tasks that exhaust their budget.
-
-        Returns:
-            Number of passes completed.
-        """
-        completed = 0
-        for state in states:
-            while True:
-                try:
-                    _, _, _, payload = _compute_pair(
-                        self._task_tuple(state, store_root)
-                    )
-                except Exception as exc:
-                    if self._record_failure(state, exc):
-                        continue
-                    failed.append(state)
-                    break
-                completed += self._ingest(state, payload, journal)
-                break
-        return completed
-
-    def _fan_out(
-        self,
-        tasks: list[_TaskState],
-        store_root: str | None,
-        journal: RunJournal | None,
-    ) -> int:
-        """Drive the process-pool fan-out with retry and pool recovery.
-
-        Args:
-            tasks: The missing passes to compute.
-            store_root: Store root for worker-side persistence.
-            journal: Checkpoint journal.
-
-        Returns:
-            Number of passes computed.
-
-        Raises:
-            RetryExhaustedError: After draining everything, when any
-                task ran out of attempts.
-        """
-        pending = deque(tasks)
-        failed: list[_TaskState] = []
-        completed = 0
-        while pending:
-            if self.report.pool_failures > self.retry.max_pool_failures:
-                # The pool keeps dying — stop burning workers and finish
-                # the remainder serially in this process.
-                self.report.serial_fallback = True
-                completed += self._run_serial(
-                    list(pending), store_root, journal, failed
-                )
-                pending.clear()
-                break
-            pool = ProcessPoolExecutor(
-                max_workers=self.workers, initializer=_worker_init
-            )
-            broken = False
-            try:
-                futures = {
-                    pool.submit(_compute_pair, self._task_tuple(s, store_root)): s
-                    for s in pending
-                }
-                pending.clear()
-                while futures:
-                    done, _ = wait(
-                        list(futures), return_when=FIRST_COMPLETED
-                    )
-                    for future in done:
-                        state = futures.pop(future)
-                        try:
-                            _, _, _, payload = future.result()
-                        except BrokenProcessPool:
-                            # A worker died (crash fault, OOM kill, ...).
-                            # Charge the attempt to every task still in
-                            # flight — the culprit is indistinguishable —
-                            # and respawn for the incomplete remainder.
-                            broken = True
-                            self.report.pool_failures += 1
-                            victims = [state, *futures.values()]
-                            futures.clear()
-                            for victim in victims:
-                                if self._record_failure(
-                                    victim, BrokenProcessPool(
-                                        "worker process died"
-                                    )
-                                ):
-                                    pending.append(victim)
-                                else:
-                                    failed.append(victim)
-                            break
-                        except Exception as exc:
-                            if self._record_failure(state, exc):
-                                futures[pool.submit(
-                                    _compute_pair,
-                                    self._task_tuple(state, store_root),
-                                )] = state
-                            else:
-                                failed.append(state)
-                        else:
-                            completed += self._ingest(state, payload, journal)
-                    if broken:
-                        break
-            finally:
-                # cancel_futures so a KeyboardInterrupt (or fatal error)
-                # tears the pool down instead of waiting out queued work.
-                pool.shutdown(wait=not broken, cancel_futures=True)
-        if failed:
-            raise RetryExhaustedError(
-                "gave up on "
-                + ", ".join(
-                    f"{s.report.label} after {s.report.attempts} attempt(s)"
-                    f" [{s.report.errors[-1]}]"
-                    for s in failed
-                )
+                task.key, name, num_threads, machine, tuple(kinds)
             )
         return completed
 

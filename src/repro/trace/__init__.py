@@ -17,7 +17,7 @@ from repro.trace.capture import (
     trace_fingerprint,
     validate_trace,
 )
-from repro.trace.generators import ScenarioFuzzer
+from repro.trace.generators import MAX_SEED, ScenarioFuzzer
 from repro.trace.program import (
     BasicBlock,
     BlockExec,
@@ -27,17 +27,41 @@ from repro.trace.program import (
 )
 from repro.trace.rng import stream_rng, stream_seed
 
+# Imported last: sharding/corpus pull in the workload layer, which itself
+# imports the trace substrate above.
+from repro.trace.corpus import (  # noqa: E402
+    CorpusEntry,
+    TraceCorpus,
+    full_run_digest,
+)
+from repro.trace.shard import (  # noqa: E402
+    ShardChainReplay,
+    ShardPlan,
+    ShardedReplay,
+    shard_provenance,
+    split_trace,
+)
+
 __all__ = [
     "BasicBlock",
     "BlockExec",
+    "CorpusEntry",
     "FORMAT_VERSION",
+    "MAX_SEED",
     "RegionTrace",
     "ScenarioFuzzer",
+    "ShardChainReplay",
+    "ShardPlan",
+    "ShardedReplay",
     "ThreadTrace",
+    "TraceCorpus",
     "TraceReader",
     "concat_refs",
+    "full_run_digest",
     "inspect_trace",
     "record_trace",
+    "shard_provenance",
+    "split_trace",
     "stream_rng",
     "stream_seed",
     "trace_fingerprint",

@@ -192,6 +192,12 @@ def pointer_chase(
     return random_gather(rng, base, footprint_lines, count, write_fraction=0.0)
 
 
+#: Largest accepted fuzzer seed.  Seeds feed the counter-based stream
+#: keys and are recorded into trace metadata as JSON integers; bounding
+#: them to a signed 64-bit range keeps every representation exact.
+MAX_SEED = 2**63 - 1
+
+
 @dataclass(frozen=True)
 class ScenarioFuzzer:
     """Seeded generator of randomized barrier-structured scenarios.
@@ -223,8 +229,21 @@ class ScenarioFuzzer:
     max_refs_per_thread: int = 3000
 
     def __post_init__(self) -> None:
+        # Validate the seed loudly at construction: a bad seed would
+        # otherwise only fail deep inside numpy's RNG seeding (or worse,
+        # silently coerce, as bools would).
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise WorkloadError(
+                f"fuzzer seed must be an int, got "
+                f"{type(self.seed).__name__} {self.seed!r}"
+            )
         if self.seed < 0:
             raise WorkloadError(f"fuzzer seed must be >= 0, got {self.seed}")
+        if self.seed > MAX_SEED:
+            raise WorkloadError(
+                f"fuzzer seed must be <= {MAX_SEED} (2**63 - 1), got "
+                f"{self.seed}"
+            )
         if not 1 <= self.min_phases <= self.max_phases:
             raise WorkloadError("fuzzer phase bounds must satisfy 1 <= min <= max")
         if not 1 <= self.min_regions <= self.max_regions:

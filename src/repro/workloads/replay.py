@@ -26,6 +26,46 @@ from repro.trace.program import BasicBlock, BlockExec
 from repro.workloads.base import PhaseInstance, Workload
 
 
+def decode_block_execs(
+    reader: TraceReader,
+    region_index: int,
+    thread_id: int,
+    table: tuple[BasicBlock, ...],
+    origin: str,
+) -> list[BlockExec]:
+    """Decode one thread's recorded executions against a block table.
+
+    Shared by :class:`ReplayWorkload` and the shard-chain replay in
+    :mod:`repro.trace.shard`, so both paths resolve block ids and report
+    unknown ids identically.
+
+    Args:
+        reader: The trace to serve from.
+        region_index: Region index *local to that trace file*.
+        thread_id: The thread whose executions to decode.
+        table: Dense ``bb_id``-ordered block table.
+        origin: Trace description for error messages.
+
+    Returns:
+        The thread's :class:`BlockExec` list for the region.
+
+    Raises:
+        WorkloadError: When the region references a block id the table
+            does not declare.
+    """
+    execs = reader.region_execs(region_index)[thread_id]
+    out = []
+    for bb_id, count, lines, writes in execs:
+        if bb_id >= len(table):
+            raise WorkloadError(
+                f"trace {origin} region {region_index} "
+                f"references unknown block id {bb_id}"
+            )
+        out.append(BlockExec(table[bb_id], count=count,
+                             lines=lines, writes=writes))
+    return out
+
+
 class ReplayWorkload(Workload):
     """A workload backed by a recorded trace file.
 
@@ -102,18 +142,10 @@ class ReplayWorkload(Workload):
         self, inst: PhaseInstance, region_index: int, thread_id: int
     ) -> list[BlockExec]:
         """Serve one thread's block executions from the recorded chunk."""
-        execs = self._reader.region_execs(region_index)[thread_id]
-        table = self._block_table
-        out = []
-        for bb_id, count, lines, writes in execs:
-            if bb_id >= len(table):
-                raise WorkloadError(
-                    f"trace {str(self.trace_path)!r} region {region_index} "
-                    f"references unknown block id {bb_id}"
-                )
-            out.append(BlockExec(table[bb_id], count=count,
-                                 lines=lines, writes=writes))
-        return out
+        return decode_block_execs(
+            self._reader, region_index, thread_id, self._block_table,
+            repr(str(self.trace_path)),
+        )
 
     def close(self) -> None:
         """Close the underlying trace reader."""

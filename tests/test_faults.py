@@ -416,6 +416,113 @@ class TestStoreFaults:
         assert sleeps == []
 
 
+class TestShardedReplayFaults:
+    """Fault-matrix extension: faults during sharded corpus replay."""
+
+    @pytest.fixture()
+    def shards(self, tmp_path):
+        """A recorded trace split into 3 shards, plus its serial,
+        fault-free baseline results."""
+        from repro.core.pipeline import BarrierPointPipeline
+        from repro.trace.shard import split_trace
+        from repro.workloads import get_workload
+        from repro.workloads.replay import ReplayWorkload
+        from tests.conftest import tiny_machine
+
+        path = tmp_path / "parent.rpt"
+        from repro.trace.capture import record_trace
+
+        record_trace(get_workload(BENCH, 4, SCALE), path)
+        paths = split_trace(path, tmp_path / "shards", num_shards=3)
+        machine = tiny_machine()
+        replay = ReplayWorkload(path)
+        pipe = BarrierPointPipeline(machine)
+        baseline = (
+            profiles_digest(pipe.profile(replay)),
+            pipe.full_run(replay).to_state(),
+        )
+        replay.close()
+        return paths, machine, baseline
+
+    @staticmethod
+    def _run(paths, machine, workers=2, **retry_kwargs):
+        from repro.trace.shard import ShardedReplay
+
+        retry_kwargs.setdefault("max_retries", 2)
+        replay = ShardedReplay(
+            paths, machine, workers=workers,
+            retry=RetryPolicy(**retry_kwargs, **FAST),
+        )
+        profiles, full = replay.run(want_profiles=True, want_full=True)
+        return (profiles_digest(profiles), full.to_state()), replay.report
+
+    def test_trace_read_fault_recovers_bit_identically(self, shards):
+        """Every shard task hits a trace.read fault on attempt 0; the
+        retried (attempt-gated) tasks merge bit-identically."""
+        paths, machine, baseline = shards
+        install_plan(FaultPlan.parse(
+            "trace.read:exception:max_attempts=1", seed=3
+        ))
+        results, report = self._run(paths, machine)
+        assert results == baseline
+        assert len(report.tasks) == len(paths)
+        for task in report.tasks:
+            assert task.disposition == "completed"
+            assert task.attempts == 2
+            assert "InjectedFaultError" in task.errors[0]
+
+    def test_runner_task_fault_recovers_bit_identically(self, shards):
+        """The runner.task site covers shard tasks exactly like
+        experiment passes."""
+        paths, machine, baseline = shards
+        install_plan(FaultPlan.parse(
+            "runner.task:exception:max_attempts=1,match=shard", seed=3
+        ))
+        results, report = self._run(paths, machine)
+        assert results == baseline
+        assert all(t.attempts == 2 for t in report.tasks)
+
+    def test_persistent_trace_read_fault_exhausts_loudly(self, shards):
+        """A fault surviving every retry aborts the merge — partial or
+        wrong results are not an outcome."""
+        paths, machine, _ = shards
+        install_plan(FaultPlan.parse(
+            "trace.read:exception:max_attempts=99", seed=3
+        ))
+        with pytest.raises(RetryExhaustedError, match="shard"):
+            self._run(paths, machine, max_retries=1)
+
+    def test_transient_store_get_fault_on_manifest_is_absorbed(
+        self, tmp_path
+    ):
+        """A transient manifest-read EIO is absorbed by the store's I/O
+        retries; the conformance sweep is unaffected."""
+        from repro.trace.corpus import TraceCorpus
+
+        store = ArtifactStore(root=tmp_path / "store")
+        corpus = TraceCorpus(store, name="faulty")
+        corpus.record_fuzz_range([1], num_threads=2, scale=SCALE)
+        clean = corpus.verify(workers=0)
+
+        install_plan(FaultPlan.parse("store.get:io_error:max_attempts=1"))
+        assert len(corpus.entries()) == 1
+        assert corpus.verify(workers=0) == clean
+
+    def test_persistent_store_get_fault_on_manifest_is_loud(self, tmp_path):
+        """A manifest unreadable through every retry raises — it must
+        never read as an empty corpus."""
+        from repro.errors import TraceFormatError
+        from repro.trace.corpus import TraceCorpus
+
+        store = ArtifactStore(root=tmp_path / "store")
+        corpus = TraceCorpus(store, name="faulty")
+        corpus.record_fuzz_range([1], num_threads=2, scale=SCALE)
+
+        install_plan(FaultPlan.parse("store.get:io_error:max_attempts=99"))
+        with pytest.raises(TraceFormatError, match="corrupt"):
+            corpus.entries()
+
+
 @pytest.mark.skipif(
     not os.path.isdir("/proc/self/fd"), reason="needs /proc fd listing"
 )

@@ -260,6 +260,27 @@ class TestScenarioFuzzer:
         with pytest.raises(WorkloadError, match="seed"):
             ScenarioFuzzer(-1)
 
+    @pytest.mark.parametrize("seed", [-1, -(2**70), 2**63, 2**100])
+    def test_out_of_range_seeds_rejected_at_construction(self, seed):
+        """Negative and overlarge seeds fail loudly up front, not deep
+        inside RNG seeding."""
+        from repro.trace.generators import MAX_SEED
+
+        assert MAX_SEED == 2**63 - 1
+        with pytest.raises(WorkloadError, match="seed"):
+            ScenarioFuzzer(seed)
+
+    def test_max_seed_is_accepted(self):
+        from repro.trace.generators import MAX_SEED
+
+        assert ScenarioFuzzer(MAX_SEED).spec() is not None
+
+    @pytest.mark.parametrize("seed", [True, False, 1.5, "7", None])
+    def test_non_int_seeds_rejected(self, seed):
+        """bools and other non-ints are type errors, not silent casts."""
+        with pytest.raises(WorkloadError, match="seed must be an int"):
+            ScenarioFuzzer(seed)
+
     def test_imbalance_skews_threads(self):
         from repro.workloads.synthetic import (
             PhaseSpec, SyntheticSpec, SyntheticWorkload,

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Corpus smoke: batch-record fuzz seeds, verify, and time the speedup.
+
+The CI corpus job (the PR 7 acceptance check):
+
+1. ``repro trace corpus record 1-4 --scale 0.1`` into a fresh store —
+   four fuzzer scenarios, recorded and indexed;
+2. ``repro trace corpus verify --workers 1`` — the corpus-wide
+   differential-conformance sweep, timed, must exit 0;
+3. the same sweep with a worker pool (one worker per CPU, capped at 4),
+   timed again, must exit 0 with identical verdict output;
+4. assert the parallel sweep's wall-clock speedup over ``--workers 1``
+   meets the floor: ``REPRO_SMOKE_MIN_SPEEDUP`` if set, else 2.0 on
+   machines with at least 4 CPUs and 1.0 (parity, no regression)
+   elsewhere — a single-core runner cannot demonstrate parallelism.
+
+Usage::
+
+    python tools/corpus_smoke.py [--workdir DIR] [--seeds SPEC]
+                                 [--scale S] [--threads N]
+
+Exits non-zero with a diagnostic on any failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _env(store: pathlib.Path) -> dict:
+    """Subprocess environment pointed at ``store``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_STORE_DIR"] = str(store)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULT_SEED", None)
+    return env
+
+
+def _run(args: list[str], store: pathlib.Path) -> subprocess.CompletedProcess:
+    """Run one ``repro`` command to completion, capturing output."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(store), cwd=REPO_ROOT, text=True, capture_output=True,
+    )
+
+
+def _fail(message: str) -> int:
+    """Print a diagnostic and return the failure exit code."""
+    print(f"corpus_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _speedup_floor() -> float:
+    """The asserted parallel-over-serial speedup floor."""
+    override = os.environ.get("REPRO_SMOKE_MIN_SPEEDUP")
+    if override:
+        return float(override)
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        return 2.0
+    print(
+        f"corpus_smoke: only {cpus} CPU(s) — relaxing the speedup floor "
+        f"to 1.0 (parity); set REPRO_SMOKE_MIN_SPEEDUP to override"
+    )
+    return 1.0
+
+
+def _verdict_lines(stdout: str) -> list[str]:
+    """The sweep's verdict rows (stable across worker counts)."""
+    return [
+        line for line in stdout.splitlines()
+        if line.endswith((" ok", " MISMATCH"))
+    ]
+
+
+def corpus_smoke(
+    workdir: pathlib.Path, seeds: str, scale: float, threads: int
+) -> int:
+    """Run the record + verify + speedup smoke; return an exit code."""
+    store = workdir / "store"
+    workers = min(4, os.cpu_count() or 1)
+
+    print(f"corpus_smoke: [1/3] record seeds {seeds} at scale {scale} ...")
+    result = _run(
+        ["trace", "corpus", "record", seeds,
+         "--threads", str(threads), "--scale", str(scale)],
+        store,
+    )
+    if result.returncode != 0:
+        return _fail(f"corpus record failed:\n{result.stderr}")
+    print(result.stdout.strip())
+
+    print("corpus_smoke: [2/3] serial conformance sweep ...")
+    started = time.perf_counter()
+    serial = _run(["trace", "corpus", "verify", "--workers", "1"], store)
+    serial_seconds = time.perf_counter() - started
+    if serial.returncode != 0:
+        return _fail(
+            f"serial verify failed:\n{serial.stdout}\n{serial.stderr}"
+        )
+    print(f"corpus_smoke: serial sweep OK in {serial_seconds:.2f}s")
+
+    print(f"corpus_smoke: [3/3] parallel sweep ({workers} workers) ...")
+    started = time.perf_counter()
+    parallel = _run(
+        ["trace", "corpus", "verify", "--workers", str(workers)], store
+    )
+    parallel_seconds = time.perf_counter() - started
+    if parallel.returncode != 0:
+        return _fail(
+            f"parallel verify failed:\n{parallel.stdout}\n{parallel.stderr}"
+        )
+    if _verdict_lines(parallel.stdout) != _verdict_lines(serial.stdout):
+        return _fail(
+            "parallel sweep verdicts differ from serial:\n"
+            f"--- serial ---\n{serial.stdout}\n"
+            f"--- parallel ---\n{parallel.stdout}"
+        )
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    floor = _speedup_floor()
+    print(
+        f"corpus_smoke: parallel sweep OK in {parallel_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x, floor {floor:.1f}x)"
+    )
+    if speedup < floor:
+        return _fail(
+            f"parallel verify speedup {speedup:.2f}x is below the "
+            f"{floor:.1f}x floor ({serial_seconds:.2f}s serial vs "
+            f"{parallel_seconds:.2f}s with {workers} workers)"
+        )
+    print("corpus_smoke: OK — corpus records, verifies, and scales")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", type=pathlib.Path, default=None,
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--seeds", default="1-4",
+        help="fuzzer seed spec to record (default: 1-4)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="recording scale (default: 0.1)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8,
+        help="recorded thread count (default: 8)",
+    )
+    args = parser.parse_args(argv)
+    if args.workdir is not None:
+        args.workdir.mkdir(parents=True, exist_ok=True)
+        return corpus_smoke(
+            args.workdir, args.seeds, args.scale, args.threads
+        )
+    with tempfile.TemporaryDirectory(prefix="corpus-smoke-") as tmp:
+        return corpus_smoke(
+            pathlib.Path(tmp), args.seeds, args.scale, args.threads
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
