@@ -102,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fingerprints", action="store_true",
         help="include each machine's artifact-store fingerprint",
     )
+    machines_p.add_argument(
+        "--show", metavar="NAME", default=None,
+        help="dump one machine's fully resolved (inheritance-merged, "
+             "validated) spec as JSON instead of the listing",
+    )
 
     trace_p = sub.add_parser(
         "trace", help="record, replay, inspect, and fuzz .rpt traces"
@@ -410,12 +415,21 @@ def cmd_sweep(
 def cmd_machines(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
-    """``repro machines``: print the machine registry."""
+    """``repro machines``: print the registry, or one resolved spec."""
+    if args.show is not None:
+        import json
+
+        from repro.machines import resolved_spec
+
+        print(json.dumps(resolved_spec(args.show), indent=2, sort_keys=True))
+        return 0
     rows = machine_summary()
-    headers = ["machine", "cores", "sockets", "L3", "DRAM", "hierarchy"]
+    headers = [
+        "machine", "cores", "sockets", "topology", "L3", "DRAM", "hierarchy",
+    ]
     cells = [
-        [r["name"], r["cores"], r["sockets"], r["l3"], r["dram"],
-         r["hierarchy"]]
+        [r["name"], r["cores"], r["sockets"], r["topology"], r["l3"],
+         r["dram"], r["hierarchy"]]
         for r in rows
     ]
     if args.fingerprints:

@@ -86,6 +86,48 @@ class MemConfig:
 
 
 @dataclass(frozen=True)
+class TopologyConfig:
+    """Core-complex topology of one socket (CCX-style grouping).
+
+    ``cores_per_complex`` lists the core count of each complex inside a
+    socket, in core-id order; the empty tuple is the flat default — one
+    complex spanning the whole socket, which degenerates to the paper's
+    per-socket shared L3 everywhere.  The two extra-cycle figures are the
+    latency *classes* a cross-core transfer is charged beyond the base L3
+    latency: zero intra-complex, ``cross_complex_extra_cycles`` between
+    complexes of one socket, and the machine's
+    ``remote_socket_extra_cycles`` between sockets.
+
+    ``interconnect_gbps`` optionally bounds the sustained bandwidth of the
+    fabric carrying cross-complex and cross-socket line transfers (the
+    IO-die / inter-socket links); ``None`` leaves the fabric unconstrained,
+    which is the flat machines' behavior.
+    """
+
+    cores_per_complex: tuple[int, ...] = ()
+    cross_complex_extra_cycles: int = 24
+    interconnect_gbps: float | None = None
+
+    def __post_init__(self) -> None:
+        # Registry specs arrive as lists; freeze them for hashing.
+        if not isinstance(self.cores_per_complex, tuple):
+            object.__setattr__(
+                self, "cores_per_complex", tuple(self.cores_per_complex)
+            )
+        if any(n <= 0 for n in self.cores_per_complex):
+            raise ConfigError("complex core counts must be positive")
+        if self.cross_complex_extra_cycles < 0:
+            raise ConfigError("cross-complex extra cycles must be >= 0")
+        if self.interconnect_gbps is not None and self.interconnect_gbps <= 0:
+            raise ConfigError("interconnect bandwidth must be positive")
+
+    @property
+    def is_flat(self) -> bool:
+        """True for the degenerate one-complex-per-socket topology."""
+        return len(self.cores_per_complex) <= 1
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """A complete simulated machine: sockets of cores plus cache hierarchy."""
 
@@ -111,12 +153,22 @@ class MachineConfig:
     #: Memory-hierarchy backend name (see :mod:`repro.mem.backends`); the
     #: default is the paper's inclusive-L3 hierarchy.
     hierarchy: str = "inclusive"
+    #: Core-complex topology of each socket; the default is flat (one
+    #: complex per socket), which every pre-topology machine maps to.
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
 
     def __post_init__(self) -> None:
         if self.num_sockets <= 0 or self.cores_per_socket <= 0:
             raise ConfigError("socket and core counts must be positive")
         if not self.hierarchy or not isinstance(self.hierarchy, str):
             raise ConfigError("hierarchy backend name must be a non-empty string")
+        per_complex = self.topology.cores_per_complex
+        if per_complex and sum(per_complex) != self.cores_per_socket:
+            raise ConfigError(
+                f"topology complexes {per_complex} hold "
+                f"{sum(per_complex)} cores but the socket has "
+                f"{self.cores_per_socket}"
+            )
 
     @property
     def num_cores(self) -> int:
@@ -138,6 +190,38 @@ class MachineConfig:
         if not 0 <= core_id < self.num_cores:
             raise ConfigError(f"core {core_id} out of range [0, {self.num_cores})")
         return core_id // self.cores_per_socket
+
+    @property
+    def complexes_per_socket(self) -> int:
+        """Core complexes in each socket (1 for flat machines)."""
+        return max(1, len(self.topology.cores_per_complex))
+
+    @property
+    def num_complexes(self) -> int:
+        """Total core-complex count across sockets."""
+        return self.num_sockets * self.complexes_per_socket
+
+    @property
+    def socket_complex_sizes(self) -> tuple[int, ...]:
+        """Core count of each complex within one socket, in core order."""
+        per_complex = self.topology.cores_per_complex
+        return per_complex if per_complex else (self.cores_per_socket,)
+
+    def topology_label(self) -> str:
+        """Compact ``sockets x complexes`` summary for registry listings.
+
+        Returns:
+            ``"flat"`` for one complex per socket, else e.g. ``"1s x 4x8"``
+            (uniform complexes) or ``"1s x (4+2)"`` (imbalanced).
+        """
+        sizes = self.socket_complex_sizes
+        if len(sizes) <= 1:
+            return "flat"
+        if len(set(sizes)) == 1:
+            shape = f"{len(sizes)}x{sizes[0]}"
+        else:
+            shape = "(" + "+".join(str(n) for n in sizes) + ")"
+        return f"{self.num_sockets}s x {shape}"
 
     def fingerprint(self) -> str:
         """Stable hex digest of every parameter (artifact-store keying)."""

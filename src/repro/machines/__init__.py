@@ -13,17 +13,20 @@ from repro.machines.registry import (
     machine_names,
     machine_summary,
     register_machine,
+    resolved_spec,
     unregister_machine,
 )
-from repro.machines.specs import DRAM_TIERS, MACHINE_SPECS
+from repro.machines.specs import DRAM_TIERS, FABRIC_TIERS, MACHINE_SPECS
 
 __all__ = [
     "DRAM_TIERS",
+    "FABRIC_TIERS",
     "MACHINE_SPECS",
     "build_machine",
     "get_machine",
     "machine_names",
     "machine_summary",
     "register_machine",
+    "resolved_spec",
     "unregister_machine",
 ]

@@ -18,6 +18,11 @@ A *machine spec* is a plain dict (the built-ins live in
         },
         "dram": {"latency_ns": 65.0, "tier": "ddr3-1066"},   # or bandwidth_gbps
         "hierarchy": "inclusive",        # a repro.mem.backends name
+        "topology": {                    # optional: core-complex structure
+            "cores_per_complex": [8, 8, 8, 8],
+            "cross_complex_extra_cycles": 40,
+            "interconnect": {"tier": "if-gen1"},   # or bandwidth_gbps
+        },
     }
 
 :func:`build_machine` validates a spec — unknown keys, missing levels, bad
@@ -31,13 +36,20 @@ from __future__ import annotations
 
 import copy
 
-from repro.config import CacheConfig, CoreConfig, MachineConfig, MemConfig
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MemConfig,
+    TopologyConfig,
+)
 from repro.errors import ConfigError
-from repro.machines.specs import DRAM_TIERS, MACHINE_SPECS
+from repro.machines.specs import DRAM_TIERS, FABRIC_TIERS, MACHINE_SPECS
 
 _TOP_KEYS = frozenset({
     "description", "base", "sockets", "cores_per_socket", "core", "caches",
     "dram", "hierarchy", "barrier_hop_cycles", "remote_socket_extra_cycles",
+    "topology",
 })
 _CORE_KEYS = frozenset({
     "frequency_ghz", "dispatch_width", "rob_entries", "branch_miss_penalty",
@@ -46,6 +58,10 @@ _CORE_KEYS = frozenset({
 _CACHE_LEVELS = ("l1i", "l1d", "l2", "l3")
 _CACHE_KEYS = frozenset({"kb", "ways", "latency", "line_bytes"})
 _DRAM_KEYS = frozenset({"latency_ns", "tier", "bandwidth_gbps"})
+_TOPOLOGY_KEYS = frozenset({
+    "cores_per_complex", "cross_complex_extra_cycles", "interconnect",
+})
+_INTERCONNECT_KEYS = frozenset({"tier", "bandwidth_gbps"})
 
 #: Runtime-registered specs, layered over the built-ins.
 _RUNTIME_SPECS: dict[str, dict] = {}
@@ -64,24 +80,23 @@ def _check_keys(name: str, section: str, spec: dict, allowed: frozenset) -> None
         )
 
 
-#: Sections that replace wholesale instead of deep-merging: ``dram``
-#: holds mutually-exclusive keys (``tier`` vs ``bandwidth_gbps``), so
-#: merging an override into an inherited tier would make every
-#: bandwidth override ambiguous.
-_REPLACE_SECTIONS = frozenset({"dram"})
+#: Sections that replace wholesale instead of deep-merging: ``dram`` (top
+#: level) and ``topology.interconnect`` hold mutually-exclusive keys
+#: (``tier`` vs ``bandwidth_gbps``), so merging an override into an
+#: inherited tier would make every bandwidth override ambiguous.
+_REPLACE_SECTIONS = frozenset({"dram", "interconnect"})
 
 
-def _merge(base: dict, override: dict, top: bool = True) -> dict:
+def _merge(base: dict, override: dict) -> dict:
     """Deep-merge ``override`` onto ``base`` (dicts recurse, scalars replace)."""
     merged = dict(base)
     for key, value in override.items():
-        replace = top and key in _REPLACE_SECTIONS
         if (
-            not replace
+            key not in _REPLACE_SECTIONS
             and isinstance(value, dict)
             and isinstance(merged.get(key), dict)
         ):
-            merged[key] = _merge(merged[key], value, top=False)
+            merged[key] = _merge(merged[key], value)
         else:
             merged[key] = value
     return merged
@@ -154,6 +169,49 @@ def _build_dram(name: str, spec: object) -> MemConfig:
     )
 
 
+def _build_topology(name: str, spec: object) -> TopologyConfig:
+    """Validate the optional ``topology`` section of a machine spec."""
+    if not isinstance(spec, dict):
+        raise ConfigError(f"machine {name!r}: topology spec must be a dict")
+    _check_keys(name, "topology", spec, _TOPOLOGY_KEYS)
+    kwargs: dict = {}
+    if "cores_per_complex" in spec:
+        sizes = spec["cores_per_complex"]
+        if not isinstance(sizes, (list, tuple)):
+            raise ConfigError(
+                f"machine {name!r}: topology cores_per_complex must be a "
+                f"list of core counts"
+            )
+        kwargs["cores_per_complex"] = tuple(int(n) for n in sizes)
+    if "cross_complex_extra_cycles" in spec:
+        kwargs["cross_complex_extra_cycles"] = int(
+            spec["cross_complex_extra_cycles"]
+        )
+    if "interconnect" in spec:
+        fabric = spec["interconnect"]
+        if not isinstance(fabric, dict):
+            raise ConfigError(
+                f"machine {name!r}: topology interconnect spec must be a dict"
+            )
+        _check_keys(name, "topology.interconnect", fabric, _INTERCONNECT_KEYS)
+        if ("tier" in fabric) == ("bandwidth_gbps" in fabric):
+            raise ConfigError(
+                f"machine {name!r}: topology.interconnect spec needs exactly "
+                f"one of 'tier' or 'bandwidth_gbps'"
+            )
+        if "tier" in fabric:
+            tier = fabric["tier"]
+            if tier not in FABRIC_TIERS:
+                raise ConfigError(
+                    f"machine {name!r}: unknown fabric tier {tier!r}; "
+                    f"known tiers: {sorted(FABRIC_TIERS)}"
+                )
+            kwargs["interconnect_gbps"] = FABRIC_TIERS[tier]
+        else:
+            kwargs["interconnect_gbps"] = float(fabric["bandwidth_gbps"])
+    return TopologyConfig(**kwargs)
+
+
 def build_machine(name: str, spec: dict) -> MachineConfig:
     """Validate one spec dict into a :class:`MachineConfig`.
 
@@ -199,6 +257,8 @@ def build_machine(name: str, spec: dict) -> MachineConfig:
     for key in ("barrier_hop_cycles", "remote_socket_extra_cycles"):
         if key in merged:
             extra[key] = int(merged[key])
+    if "topology" in merged:
+        extra["topology"] = _build_topology(name, merged["topology"])
     return MachineConfig(
         name=name,
         num_sockets=int(merged["sockets"]),
@@ -292,12 +352,39 @@ def machine_names() -> tuple[str, ...]:
     return tuple(sorted(_specs()))
 
 
+def resolved_spec(name: str) -> dict:
+    """The fully resolved, validated spec dict of one machine.
+
+    The ``base`` inheritance chain is flattened (deep-merged, with the
+    wholesale-replace sections handled as in :func:`build_machine`) and
+    the result is validated before being returned, so what you see is
+    exactly what :func:`get_machine` builds from.  Drives
+    ``repro machines --show``.
+
+    Args:
+        name: A name from :func:`machine_names`.
+
+    Returns:
+        A deep copy of the merged spec (safe to mutate).
+
+    Raises:
+        ConfigError: For unknown names or invalid specs.
+    """
+    specs = _specs()
+    if name not in specs:
+        raise ConfigError(
+            f"unknown machine {name!r}; known machines: {sorted(specs)}"
+        )
+    get_machine(name)  # validate via the cache before exposing the spec
+    return copy.deepcopy(_resolve_base(name, specs[name]))
+
+
 def machine_summary() -> list[dict]:
     """One summary row per registered machine (drives ``repro machines``).
 
     Returns:
-        Dicts with ``name``, ``cores``, ``sockets``, ``l3``, ``dram``,
-        ``hierarchy``, ``fingerprint`` and ``description`` keys.
+        Dicts with ``name``, ``cores``, ``sockets``, ``topology``, ``l3``,
+        ``dram``, ``hierarchy``, ``fingerprint`` and ``description`` keys.
     """
     rows = []
     for name in machine_names():
@@ -307,6 +394,7 @@ def machine_summary() -> list[dict]:
             "name": name,
             "cores": cfg.num_cores,
             "sockets": cfg.num_sockets,
+            "topology": cfg.topology_label(),
             "l3": f"{cfg.l3.size_bytes // (1024 * 1024)}MB/{cfg.l3.associativity}w",
             "dram": f"{cfg.mem.bandwidth_gbps_per_socket:g}GB/s",
             "hierarchy": cfg.hierarchy,

@@ -24,6 +24,16 @@ DRAM_TIERS: dict[str, float] = {
     "ddr4-2400": 19.2,
 }
 
+#: Named interconnect (fabric) bandwidth tiers (GB/s), bounding the
+#: cross-complex / cross-socket line traffic of topology machines the way
+#: :data:`DRAM_TIERS` bounds memory traffic.  Figures are in the range of
+#: first/second-generation chiplet fabrics and a QPI-class socket link.
+FABRIC_TIERS: dict[str, float] = {
+    "fabric-gen1": 42.0,
+    "fabric-gen2": 50.0,
+    "socket-qpi": 19.2,
+}
+
 #: The built-in machine registry contents, keyed by machine name.
 MACHINE_SPECS: dict[str, dict] = {
     "table1-8core": {
@@ -76,5 +86,31 @@ MACHINE_SPECS: dict[str, dict] = {
         "description": "32 cores starved to the ddr3-1066 bandwidth tier",
         "base": "table1-32core",
         "dram": {"latency_ns": 80.0, "tier": "ddr3-1066"},
+    },
+    "epyc-4x8": {
+        "description": "EPYC-like chiplet part: 4 complexes of 8 cores, "
+                       "sliced L3 behind a distributed directory",
+        "base": "table1-8core",
+        "cores_per_socket": 32,
+        "caches": {"l3": {"kb": 32768, "ways": 16, "latency": 34}},
+        "dram": {"latency_ns": 75.0, "tier": "ddr4-2400"},
+        "hierarchy": "complex",
+        "topology": {
+            "cores_per_complex": [8, 8, 8, 8],
+            "cross_complex_extra_cycles": 40,
+            "interconnect": {"tier": "fabric-gen1"},
+        },
+    },
+    "biglittle-6core": {
+        "description": "big.LITTLE-style part: a 4-core and a 2-core "
+                       "complex sharing one socket",
+        "base": "table1-8core",
+        "cores_per_socket": 6,
+        "hierarchy": "complex",
+        "topology": {
+            "cores_per_complex": [4, 2],
+            "cross_complex_extra_cycles": 30,
+            "interconnect": {"bandwidth_gbps": 25.0},
+        },
     },
 }

@@ -15,6 +15,7 @@ feature is disabled (asserted by ``tests/test_mem_backends.py``).
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.mem.complexes import ComplexHierarchy
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.noninclusive import NonInclusiveHierarchy
 from repro.mem.prefetch import NextLinePrefetchHierarchy
@@ -25,6 +26,7 @@ HIERARCHY_BACKENDS: dict[str, type[MemoryHierarchy]] = {
     "inclusive": MemoryHierarchy,
     "noninclusive": NonInclusiveHierarchy,
     "prefetch-nl": NextLinePrefetchHierarchy,
+    "complex": ComplexHierarchy,
 }
 
 

@@ -27,6 +27,7 @@ from repro.errors import SimulationError
 from repro.mem.cache import SetAssocCache
 from repro.mem.directory import Directory
 from repro.mem.dram import Dram
+from repro.mem.topology import Topology
 
 _STORE_STALL_FRACTION = 0.3  # store misses retire through the store buffer
 
@@ -40,8 +41,13 @@ class AccessCounters:
     __slots__ = (
         "loads", "stores", "l1d_misses", "l2_misses", "l3_misses",
         "cache_to_cache", "writebacks", "l1i_misses", "prefetches",
+        "intra_complex_transfers", "cross_complex_transfers",
+        "cross_socket_transfers",
         "dram_reads_per_socket", "dram_writebacks_per_socket",
     )
+
+    #: Fields holding per-socket tuples rather than scalar ints.
+    _TUPLE_FIELDS = ("dram_reads_per_socket", "dram_writebacks_per_socket")
 
     def __init__(
         self,
@@ -54,6 +60,9 @@ class AccessCounters:
         writebacks: int = 0,
         l1i_misses: int = 0,
         prefetches: int = 0,
+        intra_complex_transfers: int = 0,
+        cross_complex_transfers: int = 0,
+        cross_socket_transfers: int = 0,
         dram_reads_per_socket: tuple[int, ...] = (),
         dram_writebacks_per_socket: tuple[int, ...] = (),
     ) -> None:
@@ -66,6 +75,9 @@ class AccessCounters:
         self.writebacks = writebacks
         self.l1i_misses = l1i_misses
         self.prefetches = prefetches
+        self.intra_complex_transfers = intra_complex_transfers
+        self.cross_complex_transfers = cross_complex_transfers
+        self.cross_socket_transfers = cross_socket_transfers
         self.dram_reads_per_socket = dram_reads_per_socket
         self.dram_writebacks_per_socket = dram_writebacks_per_socket
 
@@ -94,16 +106,27 @@ class AccessCounters:
     def from_state(cls, state: dict) -> AccessCounters:
         """Rebuild counters from a :meth:`to_state` dict.
 
+        Tolerant of counters the producing version did not know about:
+        artifacts stored before a counter existed decode it as zero (the
+        per-latency-class transfer counters post-date the PR-7 store
+        format, and old entries must keep loading).  Unknown keys in
+        ``state`` are ignored for the symmetric forward case.
+
         Args:
-            state: A dict produced by :meth:`to_state`.
+            state: A dict produced by :meth:`to_state` (any version).
 
         Returns:
             An equivalent :class:`AccessCounters`.
         """
-        kwargs = dict(state)
-        for name in ("dram_reads_per_socket", "dram_writebacks_per_socket"):
-            kwargs[name] = tuple(kwargs[name])
-        return cls(**kwargs)
+        tuples = cls._TUPLE_FIELDS
+        return cls(**{
+            name: (
+                tuple(state.get(name, ()))
+                if name in tuples
+                else state.get(name, 0)
+            )
+            for name in cls.__slots__
+        })
 
     def delta(self, earlier: AccessCounters) -> AccessCounters:
         """Counter difference ``self - earlier`` (for per-region metrics)."""
@@ -117,6 +140,15 @@ class AccessCounters:
             writebacks=self.writebacks - earlier.writebacks,
             l1i_misses=self.l1i_misses - earlier.l1i_misses,
             prefetches=self.prefetches - earlier.prefetches,
+            intra_complex_transfers=(
+                self.intra_complex_transfers - earlier.intra_complex_transfers
+            ),
+            cross_complex_transfers=(
+                self.cross_complex_transfers - earlier.cross_complex_transfers
+            ),
+            cross_socket_transfers=(
+                self.cross_socket_transfers - earlier.cross_socket_transfers
+            ),
             dram_reads_per_socket=tuple(
                 a - b for a, b in zip(
                     self.dram_reads_per_socket, earlier.dram_reads_per_socket)
@@ -162,14 +194,15 @@ class MemoryHierarchy:
         self.l3 = [cache_cls(machine.l3) for _ in range(machine.num_sockets)]
         self.directory = Directory(num_cores=n_cores)
         self.dram = Dram(machine)
-        self._socket_of = [machine.socket_of(c) for c in range(n_cores)]
-        self._cores_of_socket = [
-            [c for c in range(n_cores) if self._socket_of[c] == s]
-            for s in range(machine.num_sockets)
-        ]
-        self._socket_mask = [
-            sum(1 << c for c in cores) for cores in self._cores_of_socket
-        ]
+        # The flat backends group cores by socket regardless of any finer
+        # complex structure: one shared L3 per socket is the paper's
+        # machine, and the socket view reproduces the historical
+        # core-arithmetic tables exactly (asserted by the parity battery).
+        topo = Topology.socket_view(machine)
+        self.topology = topo
+        self._socket_of = list(topo.domain_of)
+        self._cores_of_socket = [list(cores) for cores in topo.domains]
+        self._socket_mask = list(topo.domain_mask)
         self._num_sockets = machine.num_sockets
         self._dram_reads = self.dram.stats.reads_per_socket
         self._dram_wbs = self.dram.stats.writebacks_per_socket
@@ -181,6 +214,12 @@ class MemoryHierarchy:
         self._writebacks = 0
         self._l1i_misses = 0
         self._prefetches = 0
+        # Cache-to-cache transfers split by latency class.  The socket
+        # view has no cross-complex hops, so the middle class stays zero
+        # here; the ``complex`` backend populates all three.
+        self._intra_c2c = 0
+        self._xcomplex_c2c = 0
+        self._xsocket_c2c = 0
         # Per-core hot-path context: everything ``access_block`` needs,
         # bound once (caches are flushed in place, never replaced, so the
         # bindings stay valid for the hierarchy's lifetime).
@@ -233,6 +272,9 @@ class MemoryHierarchy:
             writebacks=self._writebacks,
             l1i_misses=self._l1i_misses,
             prefetches=self._prefetches,
+            intra_complex_transfers=self._intra_c2c,
+            cross_complex_transfers=self._xcomplex_c2c,
+            cross_socket_transfers=self._xsocket_c2c,
             dram_reads_per_socket=tuple(self.dram.stats.reads_per_socket),
             dram_writebacks_per_socket=tuple(self.dram.stats.writebacks_per_socket),
         )
@@ -353,6 +395,7 @@ class MemoryHierarchy:
         pf_degree = self.prefetch_degree
 
         loads = stores = l1d_misses = l2_misses = c2c = writebacks = 0
+        intra_c2c = xsocket_c2c = 0
         l1_hits = l1_missc = l1_evic = 0
         l2_hits = l2_missc = l2_evic = 0
         l3_hits = l3_missc = l3_evic = l3_dirty_evic = 0
@@ -383,6 +426,10 @@ class MemoryHierarchy:
                             writebacks += 1
                             remote = remote or prev_socket != socket
                             c2c += 1
+                            if prev_socket != socket:
+                                xsocket_c2c += 1
+                            else:
+                                intra_c2c += 1
                         if num_sockets > 1:
                             for sk in range(num_sockets):
                                 if sk != socket:
@@ -426,11 +473,12 @@ class MemoryHierarchy:
                         # Dirty in a remote private hierarchy: cache-to-cache
                         # transfer plus MSI downgrade writeback.
                         owner_socket = socket_of[owner]
-                        extra += (
-                            remote_lat
-                            if owner_socket != socket
-                            else l3_lat + l2_lat
-                        )
+                        if owner_socket != socket:
+                            extra += remote_lat
+                            xsocket_c2c += 1
+                        else:
+                            extra += l3_lat + l2_lat
+                            intra_c2c += 1
                         if not w:
                             del dir_owner[line]
                             downgrades += 1
@@ -524,6 +572,8 @@ class MemoryHierarchy:
         self._l2_misses += l2_misses
         self._c2c += c2c
         self._writebacks += writebacks
+        self._intra_c2c += intra_c2c
+        self._xsocket_c2c += xsocket_c2c
         l1_stats.hits += l1_hits
         l1_stats.misses += l1_missc
         l1_stats.evictions += l1_evic

@@ -8,7 +8,9 @@ plausible global order while remaining deterministic.
 
 Region duration is the slowest thread's clock (passive barrier wait) plus
 the barrier release cost, stretched if the region's DRAM traffic would
-exceed any socket's sustained bandwidth.
+exceed any socket's sustained bandwidth — or, on topology machines that
+declare an interconnect bandwidth, if its cross-complex/cross-socket
+line traffic would exceed the fabric's.
 """
 
 from __future__ import annotations
@@ -166,6 +168,16 @@ class Machine:
             list(counters.dram_reads_per_socket),
             list(counters.dram_writebacks_per_socket),
         )
+        if self.config.topology.interconnect_gbps is not None:
+            from repro.mem.topology import fabric_min_cycles
+
+            fabric_floor = fabric_min_cycles(
+                self.config,
+                counters.cross_complex_transfers
+                + counters.cross_socket_transfers,
+            )
+            if fabric_floor > bw_floor:
+                bw_floor = fabric_floor
         bandwidth_limited = bw_floor > duration
         if bandwidth_limited:
             duration = bw_floor

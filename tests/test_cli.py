@@ -286,7 +286,30 @@ def test_usage_errors_exit_2(argv, capsys):
 
 def test_machines_exit_zero(capsys):
     assert cli.main(["machines"]) == 0
-    assert "table1-8core" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "table1-8core" in out
+    # The listing carries the topology column for chiplet machines.
+    assert "topology" in out
+    assert "1s x 4x8" in out
+
+
+def test_machines_show_dumps_resolved_spec(capsys):
+    import json
+
+    assert cli.main(["machines", "--show", "epyc-4x8"]) == 0
+    spec = json.loads(capsys.readouterr().out)
+    # Inheritance-flattened: base keys present, no 'base' marker left.
+    assert "base" not in spec
+    assert spec["core"]["frequency_ghz"] == 2.66
+    assert spec["topology"]["cores_per_complex"] == [8, 8, 8, 8]
+    assert spec["hierarchy"] == "complex"
+
+
+def test_machines_show_unknown_name_is_clean_error(capsys):
+    assert cli.main(["machines", "--show", "not-a-machine"]) == 1
+    captured = capsys.readouterr()
+    assert "unknown machine" in captured.err
+    assert "Traceback" not in captured.err
 
 
 # ---------------------------------------------------------------------------

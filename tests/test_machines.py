@@ -6,12 +6,14 @@ from repro.config import MachineConfig, scaled
 from repro.errors import ConfigError
 from repro.machines import (
     DRAM_TIERS,
+    FABRIC_TIERS,
     MACHINE_SPECS,
     build_machine,
     get_machine,
     machine_names,
     machine_summary,
     register_machine,
+    resolved_spec,
     unregister_machine,
 )
 
@@ -206,3 +208,129 @@ class TestRuntimeRegistration:
         build_machine("m", {"base": "table1-32core", "sockets": 8})
         get_machine("table1-32core")
         assert repr(MACHINE_SPECS) == before
+
+
+class TestTopology:
+    def test_epyc_spec_builds_topology(self):
+        cfg = get_machine("epyc-4x8")
+        assert cfg.topology.cores_per_complex == (8, 8, 8, 8)
+        assert cfg.topology.cross_complex_extra_cycles == 40
+        assert cfg.topology.interconnect_gbps == FABRIC_TIERS["fabric-gen1"]
+        assert cfg.complexes_per_socket == 4
+        assert cfg.hierarchy == "complex"
+        assert cfg.topology_label() == "1s x 4x8"
+
+    def test_biglittle_imbalanced_complexes(self):
+        cfg = get_machine("biglittle-6core")
+        assert cfg.topology.cores_per_complex == (4, 2)
+        assert cfg.topology.interconnect_gbps == 25.0
+        assert cfg.topology_label() == "1s x (4+2)"
+
+    def test_flat_machines_stay_flat(self):
+        cfg = get_machine("table1-32core")
+        assert cfg.topology.cores_per_complex == ()
+        assert cfg.topology.is_flat
+        assert cfg.topology.interconnect_gbps is None
+        assert cfg.topology_label() == "flat"
+
+    def test_unknown_topology_key_names_keys_and_machine(self):
+        """Satellite: a typo'd topology key must name the offending
+        machine and enumerate the valid keys."""
+        spec = {"base": "epyc-4x8",
+                "topology": {"cores_per_compelx": [16, 16]}}
+        with pytest.raises(ConfigError) as err:
+            build_machine("my-chiplet", spec)
+        message = str(err.value)
+        assert "unknown topology key" in message
+        assert "'my-chiplet'" in message
+        assert "cores_per_compelx" in message
+        for valid in ("cores_per_complex", "cross_complex_extra_cycles",
+                      "interconnect"):
+            assert valid in message
+
+    def test_unknown_fabric_tier(self):
+        spec = {"base": "epyc-4x8",
+                "topology": {"interconnect": {"tier": "warp-drive"}}}
+        with pytest.raises(ConfigError, match="unknown fabric tier"):
+            build_machine("m", spec)
+
+    def test_interconnect_tier_xor_bandwidth(self):
+        spec = {"base": "biglittle-6core",
+                "topology": {"interconnect": {
+                    "tier": "fabric-gen1", "bandwidth_gbps": 25.0}}}
+        with pytest.raises(ConfigError, match="exactly one"):
+            build_machine("m", spec)
+
+    def test_interconnect_replaces_instead_of_merging(self):
+        """Overriding an inherited tiered interconnect with an explicit
+        bandwidth must not merge into an ambiguous tier+bandwidth dict."""
+        cfg = build_machine(
+            "m", {"base": "epyc-4x8",
+                  "topology": {"interconnect": {"bandwidth_gbps": 99.0}}}
+        )
+        assert cfg.topology.interconnect_gbps == 99.0
+        # Sibling topology keys still deep-merge from the base.
+        assert cfg.topology.cores_per_complex == (8, 8, 8, 8)
+        assert cfg.topology.cross_complex_extra_cycles == 40
+
+    def test_topology_inherited_through_base(self):
+        cfg = build_machine("m", {"base": "epyc-4x8", "sockets": 2})
+        assert cfg.num_sockets == 2
+        assert cfg.topology == get_machine("epyc-4x8").topology
+
+    def test_complex_sum_must_match_socket(self):
+        spec = {"base": "epyc-4x8",
+                "topology": {"cores_per_complex": [8, 8, 8]}}
+        with pytest.raises(ConfigError, match="socket has"):
+            build_machine("m", spec)
+
+    def test_bad_cores_per_complex_type(self):
+        spec = {"base": "epyc-4x8",
+                "topology": {"cores_per_complex": 32}}
+        with pytest.raises(ConfigError, match="list of core counts"):
+            build_machine("m", spec)
+
+    def test_topology_participates_in_fingerprint(self):
+        base = get_machine("epyc-4x8")
+        tweaked = build_machine(
+            "epyc-4x8",
+            {"base": "epyc-4x8",
+             "topology": {"cross_complex_extra_cycles": 41}},
+        )
+        assert base.fingerprint() != tweaked.fingerprint()
+
+    def test_scaled_preserves_topology(self):
+        cfg = scaled(get_machine("epyc-4x8"))
+        assert cfg.topology == get_machine("epyc-4x8").topology
+        assert cfg.hierarchy == "complex"
+
+    def test_summary_topology_column(self):
+        by_name = {r["name"]: r for r in machine_summary()}
+        assert by_name["epyc-4x8"]["topology"] == "1s x 4x8"
+        assert by_name["biglittle-6core"]["topology"] == "1s x (4+2)"
+        assert by_name["table1-8core"]["topology"] == "flat"
+
+
+class TestResolvedSpec:
+    def test_flattens_base_chain(self):
+        spec = resolved_spec("epyc-4x8")
+        assert "base" not in spec
+        # Inherited from table1-8core.
+        assert spec["core"]["frequency_ghz"] == 2.66
+        assert spec["caches"]["l1d"] == {"kb": 32, "ways": 8, "latency": 4}
+        # Own overrides.
+        assert spec["caches"]["l3"]["kb"] == 32768
+        assert spec["topology"]["cores_per_complex"] == [8, 8, 8, 8]
+
+    def test_matches_what_get_machine_builds(self):
+        for name in machine_names():
+            assert build_machine(name, resolved_spec(name)) == get_machine(name)
+
+    def test_returns_a_safe_copy(self):
+        resolved_spec("epyc-4x8")["caches"]["l3"]["kb"] = 1
+        assert resolved_spec("epyc-4x8")["caches"]["l3"]["kb"] == 32768
+        assert get_machine("epyc-4x8").l3.size_bytes == 32768 * 1024
+
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigError, match="unknown machine"):
+            resolved_spec("table1-9core")

@@ -9,12 +9,15 @@ behavior.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
+from repro.config import TopologyConfig
 from repro.errors import ConfigError
 from repro.mem import (
     HIERARCHY_BACKENDS,
+    ComplexHierarchy,
     MemoryHierarchy,
     NextLinePrefetchHierarchy,
     NonInclusiveHierarchy,
@@ -54,12 +57,15 @@ def full_state(hierarchy):
 
 class TestRegistry:
     def test_names(self):
-        assert backend_names() == ("inclusive", "noninclusive", "prefetch-nl")
+        assert backend_names() == (
+            "complex", "inclusive", "noninclusive", "prefetch-nl"
+        )
 
     def test_lookup(self):
         assert hierarchy_backend("inclusive") is MemoryHierarchy
         assert hierarchy_backend("noninclusive") is NonInclusiveHierarchy
         assert hierarchy_backend("prefetch-nl") is NextLinePrefetchHierarchy
+        assert hierarchy_backend("complex") is ComplexHierarchy
 
     def test_unknown_backend(self):
         with pytest.raises(ConfigError, match="unknown hierarchy backend"):
@@ -236,6 +242,125 @@ class TestNextLinePrefetch:
         assert stall_pf < 0.7 * stall_plain
 
 
+def complex_machine(num_sockets=1, cores_per_complex=(2, 2), extra=12):
+    """A tiny machine running the ``complex`` backend."""
+    return replace(
+        tiny_machine(num_sockets=num_sockets,
+                     cores_per_socket=sum(cores_per_complex)),
+        hierarchy="complex",
+        topology=TopologyConfig(cores_per_complex=cores_per_complex,
+                                cross_complex_extra_cycles=extra),
+    )
+
+
+class TestComplexBackend:
+    """Acceptance battery for the core-complex hierarchy backend."""
+
+    @pytest.mark.parametrize("sockets", [1, 2])
+    def test_one_complex_per_socket_degenerates_to_flat(self, sockets):
+        """ISSUE acceptance: at 1 complex/socket the backend is
+        bit-identical to the flat inclusive hierarchy — same stalls,
+        caches, dirtiness, directory state, and counters."""
+        machine = complex_machine(num_sockets=sockets,
+                                  cores_per_complex=(4,), extra=99)
+        ref = MemoryHierarchy(replace(machine, hierarchy="inclusive"))
+        twin = ComplexHierarchy(machine)
+        assert drive(ref) == drive(twin)
+        assert full_state(ref) == full_state(twin)
+
+    @pytest.mark.parametrize("sockets", [1, 2])
+    def test_flat_topology_degenerates_too(self, sockets):
+        """A machine with no topology section (flat) behaves identically
+        under the complex backend: domains collapse to the sockets."""
+        machine = tiny_machine(num_sockets=sockets)
+        ref = MemoryHierarchy(machine)
+        twin = ComplexHierarchy(machine)
+        assert drive(ref) == drive(twin)
+        assert full_state(ref) == full_state(twin)
+
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: ComplexHierarchy(complex_machine()),
+         lambda: ComplexHierarchy(complex_machine(num_sockets=2)),
+         lambda: MemoryHierarchy(tiny_machine(num_sockets=2)),
+         lambda: NonInclusiveHierarchy(tiny_machine(num_sockets=2)),
+         lambda: NextLinePrefetchHierarchy(tiny_machine(num_sockets=2))],
+        ids=["complex-1s", "complex-2s", "inclusive", "noninclusive",
+             "prefetch-nl"],
+    )
+    def test_traffic_conservation(self, make):
+        """Per-latency-class transfer counters partition cache_to_cache."""
+        hierarchy = make()
+        drive(hierarchy)
+        c = hierarchy.snapshot()
+        assert c.cache_to_cache > 0
+        assert (c.intra_complex_transfers + c.cross_complex_transfers
+                + c.cross_socket_transfers) == c.cache_to_cache
+
+    def test_hop_classes_populated(self):
+        """A 2-socket 2-complex machine exercises all three classes."""
+        h = ComplexHierarchy(complex_machine(num_sockets=2))
+        drive(h)
+        c = h.snapshot()
+        assert c.intra_complex_transfers > 0
+        assert c.cross_complex_transfers > 0
+        assert c.cross_socket_transfers > 0
+
+    def test_single_socket_has_no_cross_socket_traffic(self):
+        h = ComplexHierarchy(complex_machine())
+        drive(h)
+        c = h.snapshot()
+        assert c.cross_complex_transfers > 0
+        assert c.cross_socket_transfers == 0
+
+    def test_slices_and_directory_homes_per_complex(self):
+        machine = complex_machine(num_sockets=2)  # 2 sockets x 2 complexes
+        h = ComplexHierarchy(machine)
+        assert len(h.l3) == 4
+        assert h.directory.num_homes == 4
+        assert len(h.directory.homes) == 4
+        # Equal split of the socket capacity across its complexes.
+        assert h.l3[0].config.size_bytes == machine.l3.size_bytes // 2
+
+    def test_cross_complex_hop_costs_more(self):
+        """The same remote-owner transfer is dearer across complexes."""
+
+        def owner_read_stall(machine, reader):
+            h = ComplexHierarchy(machine)
+            h.access(0, 7, True)       # core 0 owns line 7 in M
+            return h.access(reader, 7, False)
+
+        near = owner_read_stall(complex_machine(extra=12), reader=1)
+        far = owner_read_stall(complex_machine(extra=12), reader=2)
+        farther = owner_read_stall(complex_machine(extra=40), reader=2)
+        assert near < far < farther
+
+    def test_indivisible_l3_rejected(self):
+        # tiny L3 is 32 KiB: not divisible by 3 complexes.
+        machine = complex_machine(cores_per_complex=(2, 1, 1))
+        with pytest.raises(ConfigError, match="complex slices"):
+            ComplexHierarchy(machine)
+
+    def test_registry_machines_run_under_machine_layer(self):
+        """The built-in topology machines simulate a workload end to end
+        and report class-partitioned transfers."""
+        from repro.config import scaled
+        from repro.machines import get_machine
+        from repro.workloads import get_workload
+
+        config = scaled(get_machine("biglittle-6core"))
+        workload = get_workload("npb-is", config.num_cores, scale=0.1)
+        result = Machine(config).run_full(workload)
+        c2c = sum(r.counters.cache_to_cache for r in result.regions)
+        classed = sum(
+            r.counters.intra_complex_transfers
+            + r.counters.cross_complex_transfers
+            + r.counters.cross_socket_transfers
+            for r in result.regions
+        )
+        assert c2c > 0 and classed == c2c
+
+
 class TestCounters:
     def test_access_counters_roundtrip_includes_prefetches(self):
         c = AccessCounters(loads=2, prefetches=5,
@@ -247,6 +372,34 @@ class TestCounters:
             prefetches=2, dram_reads_per_socket=(0,),
             dram_writebacks_per_socket=(0,)))
         assert delta.prefetches == 3
+
+    def test_pre_topology_state_dict_decodes_with_zero_transfers(self):
+        """Regression pin: an exact PR-7-era ``to_state`` payload (no
+        per-latency-class transfer keys) must still decode — missing
+        counters default to zero so pre-topology store artifacts replay."""
+        pr7_state = {
+            "loads": 4200, "stores": 1800, "l1d_misses": 310,
+            "l2_misses": 120, "l3_misses": 45, "cache_to_cache": 17,
+            "writebacks": 9, "l1i_misses": 3, "prefetches": 0,
+            "dram_reads_per_socket": [30, 15],
+            "dram_writebacks_per_socket": [6, 3],
+        }
+        c = AccessCounters.from_state(pr7_state)
+        assert c.loads == 4200 and c.cache_to_cache == 17
+        assert c.dram_reads_per_socket == (30, 15)
+        assert c.intra_complex_transfers == 0
+        assert c.cross_complex_transfers == 0
+        assert c.cross_socket_transfers == 0
+        # Round-trips through the modern schema, and deltas mix eras.
+        assert AccessCounters.from_state(c.to_state()).to_state() == c.to_state()
+        d = AccessCounters.from_state(c.to_state()).delta(c)
+        assert d.loads == 0 and d.cross_complex_transfers == 0
+
+    def test_unknown_state_keys_ignored(self):
+        state = AccessCounters(dram_reads_per_socket=(1,),
+                               dram_writebacks_per_socket=(0,)).to_state()
+        state["from_the_future"] = 99
+        assert AccessCounters.from_state(state).dram_reads_per_socket == (1,)
 
     def test_region_counters_flow_through_machine(self):
         """Prefetch counters reach RegionMetrics via the machine layer."""

@@ -93,6 +93,31 @@ class TestSweepCompute:
         assert crossed.target_threads == 16
         assert np.isfinite(crossed.error_pct)
 
+    def test_topology_machines_sweep_end_to_end(self, tmp_path):
+        """ISSUE acceptance: the new topology entries run through the
+        store-cached sweep path at their own core counts, and a warm
+        rerun is pure store hits."""
+        machines = ("epyc-4x8", "biglittle-6core", "table1-8core")
+
+        def runner(workers=0):
+            return ExperimentRunner(
+                scale=0.1, benchmarks=("npb-is", "npb-cg"),
+                sweep_machines=machines, workers=workers,
+                store=ArtifactStore(root=tmp_path),
+            )
+
+        cells = sweep.compute(runner())
+        assert len(cells) == len(machines) ** 2 * 2
+        threads = {c.source_machine: c.source_threads for c in cells}
+        assert threads == {"epyc-4x8": 32, "biglittle-6core": 6,
+                           "table1-8core": 8}
+        for cell in cells:
+            assert np.isfinite(cell.error_pct) and cell.error_pct >= 0
+
+        warm = runner()
+        assert sweep.compute(warm) == cells
+        assert warm.store.hits > 0 and warm.store.misses == 0
+
     def test_hierarchy_backends_change_reference_timing(self, tmp_path):
         """The sweep machines genuinely differ: full runs disagree."""
         runner = sweep_runner(tmp_path)

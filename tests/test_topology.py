@@ -1,0 +1,150 @@
+"""Tests for the machine-topology abstraction (repro.mem.topology).
+
+The views, the hop-class algebra, the fabric bandwidth floor, and its
+integration with the region timing model.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CACHE_LINE_BYTES, TopologyConfig
+from repro.mem.topology import (
+    CROSS_COMPLEX,
+    CROSS_SOCKET,
+    INTRA_COMPLEX,
+    LATENCY_CLASSES,
+    Topology,
+    fabric_min_cycles,
+)
+from repro.sim.machine import Machine
+from repro.workloads import get_workload
+from tests.conftest import tiny_machine
+
+
+def ccx_machine(num_sockets=2, cores_per_complex=(2, 2), **kwargs):
+    return replace(
+        tiny_machine(num_sockets=num_sockets,
+                     cores_per_socket=sum(cores_per_complex)),
+        topology=TopologyConfig(cores_per_complex=cores_per_complex,
+                                **kwargs),
+    )
+
+
+class TestViews:
+    def test_socket_view_partitions_cores_by_socket(self):
+        machine = ccx_machine()  # the complex structure must not matter
+        topo = Topology.socket_view(machine)
+        assert topo.num_domains == machine.num_sockets == 2
+        assert topo.domains == ((0, 1, 2, 3), (4, 5, 6, 7))
+        assert topo.domain_of == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert topo.domain_socket == (0, 1)
+        assert topo.domain_mask == (0b00001111, 0b11110000)
+
+    def test_complex_view_partitions_cores_by_complex(self):
+        topo = Topology.complex_view(ccx_machine())
+        assert topo.num_domains == 4
+        assert topo.domains == ((0, 1), (2, 3), (4, 5), (6, 7))
+        assert topo.domain_socket == (0, 0, 1, 1)
+        assert topo.domain_mask == (0b0011, 0b1100, 0b110000, 0b11000000)
+
+    def test_complex_view_imbalanced_sizes(self):
+        topo = Topology.complex_view(
+            ccx_machine(num_sockets=1, cores_per_complex=(4, 2))
+        )
+        assert topo.domains == ((0, 1, 2, 3), (4, 5))
+
+    def test_views_coincide_on_flat_machines(self):
+        machine = tiny_machine(num_sockets=2)
+        sock = Topology.socket_view(machine)
+        cplx = Topology.complex_view(machine)
+        assert cplx.domains == sock.domains
+        assert cplx.domain_socket == sock.domain_socket
+
+
+class TestHopClasses:
+    def test_three_classes_cheapest_first(self):
+        assert LATENCY_CLASSES == (
+            "intra-complex", "cross-complex", "cross-socket"
+        )
+
+    def test_hop_class_partition(self):
+        topo = Topology.complex_view(ccx_machine())
+        assert topo.hop_class(0, 0) == INTRA_COMPLEX
+        assert topo.hop_class(0, 1) == CROSS_COMPLEX  # same socket
+        assert topo.hop_class(0, 2) == CROSS_SOCKET
+        assert topo.hop_class(3, 2) == CROSS_COMPLEX
+
+    def test_hop_extra_cycles_per_class(self):
+        machine = ccx_machine(cross_complex_extra_cycles=17)
+        topo = Topology.complex_view(machine)
+        assert topo.hop_extra_cycles(1, 1) == 0
+        assert topo.hop_extra_cycles(0, 1) == 17
+        assert topo.hop_extra_cycles(0, 2) == machine.remote_socket_extra_cycles
+
+    def test_hop_extra_table_is_dense_and_symmetric(self):
+        topo = Topology.complex_view(ccx_machine())
+        table = topo.hop_extra_table()
+        n = topo.num_domains
+        assert len(table) == n and all(len(row) == n for row in table)
+        for a in range(n):
+            for b in range(n):
+                assert table[a][b] == topo.hop_extra_cycles(a, b)
+                assert table[a][b] == table[b][a]
+
+    def test_socket_view_never_sees_cross_complex(self):
+        topo = Topology.socket_view(ccx_machine())
+        classes = {
+            topo.hop_class(a, b)
+            for a in range(topo.num_domains)
+            for b in range(topo.num_domains)
+        }
+        assert classes == {INTRA_COMPLEX, CROSS_SOCKET}
+
+
+class TestFabricFloor:
+    def test_unconstrained_without_interconnect(self):
+        assert fabric_min_cycles(tiny_machine(), transfers=10_000) == 0.0
+
+    def test_zero_traffic_is_free(self):
+        machine = ccx_machine(interconnect_gbps=10.0)
+        assert fabric_min_cycles(machine, transfers=0) == 0.0
+
+    def test_scales_with_traffic_and_inverse_bandwidth(self):
+        machine = ccx_machine(interconnect_gbps=10.0)
+        one = fabric_min_cycles(machine, transfers=1)
+        assert one == CACHE_LINE_BYTES / (10.0 / machine.core.frequency_ghz)
+        assert fabric_min_cycles(machine, transfers=7) == pytest.approx(7 * one)
+        wider = ccx_machine(interconnect_gbps=20.0)
+        assert fabric_min_cycles(wider, 7) == pytest.approx(7 * one / 2)
+
+
+class TestRegionIntegration:
+    @staticmethod
+    def run(machine):
+        workload = get_workload("npb-is", machine.num_cores, scale=0.1)
+        return Machine(machine).run_full(workload)
+
+    def test_starved_fabric_stretches_regions(self):
+        """The same complex machine with a starved interconnect reports
+        bandwidth-limited regions and takes longer overall."""
+        base = replace(ccx_machine(num_sockets=1), hierarchy="complex")
+        free = self.run(base)
+        starved = self.run(
+            replace(base,
+                    topology=replace(base.topology, interconnect_gbps=1e-3))
+        )
+        assert any(r.bandwidth_limited for r in starved.regions)
+        assert starved.app.cycles > free.app.cycles
+        # Traffic counters are unchanged — only the timing is bounded.
+        assert [r.counters.to_state() for r in starved.regions] == [
+            r.counters.to_state() for r in free.regions
+        ]
+
+    def test_flat_machines_unaffected_by_fabric_model(self):
+        """Flat machines (interconnect_gbps=None) go down the exact
+        pre-topology timing path: no fabric floor is ever applied."""
+        machine = tiny_machine(num_sockets=2)
+        assert machine.topology.interconnect_gbps is None
+        result = self.run(machine)
+        assert result.app.cycles > 0
