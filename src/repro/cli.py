@@ -15,7 +15,10 @@ for the user guide):
   with the environment knobs set from flags;
 * ``repro clean`` — delete the artifact store, or garbage-collect it
   (``--gc``: orphan temp reaping, TTL expiry, LRU size quota — see
-  ``docs/robustness.md``).
+  ``docs/robustness.md``);
+* ``repro serve`` — the long-lived experiment service: an HTTP JSON API
+  with request coalescing, a crash-tolerant job journal (``--resume``),
+  and the janitor on a background cadence (see ``docs/serve.md``).
 
 Installed as ``repro`` by ``pip install -e .``; equivalently available
 without installation as ``PYTHONPATH=src python -m repro ...``.
@@ -323,6 +326,53 @@ def build_parser() -> argparse.ArgumentParser:
     clean_p.add_argument(
         "--no-reap-tmp", action="store_true",
         help="with --gc: leave orphan temp files alone",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="long-lived experiment service (HTTP JSON API with request "
+             "coalescing — see docs/serve.md)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind host (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default 8642; 0 = ephemeral)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads executing jobs (default 1)",
+    )
+    serve_p.add_argument(
+        "--resume", action="store_true",
+        help="restore the journaled job backlog of a previous (killed or "
+             "drained) server before accepting requests",
+    )
+    serve_p.add_argument(
+        "--ttl", type=str, default=None,
+        help="janitor TTL: expire store artifacts older than this "
+             "(e.g. 3600, 90m, 12h, 7d)",
+    )
+    serve_p.add_argument(
+        "--max-bytes", type=str, default=None,
+        help="janitor quota: evict least-recently-used artifacts until "
+             "the store fits (e.g. 512K, 100M, 2G)",
+    )
+    serve_p.add_argument(
+        "--gc-interval", type=float, default=None,
+        help="seconds between janitor sweeps (default 300; sweeps only "
+             "run when --ttl or --max-bytes is given)",
+    )
+    serve_p.add_argument(
+        "--ready-file", type=pathlib.Path, default=None,
+        help="write the bound {host, port, pid} as JSON here once "
+             "listening (for harnesses using --port 0)",
+    )
+    serve_p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the structured request log",
     )
     return parser
 
@@ -906,6 +956,43 @@ def cmd_clean(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``repro serve``: run the experiment service until drained.
+
+    ``SIGTERM``/``SIGINT`` trigger a graceful drain — running jobs
+    finish, the queued backlog stays journaled for ``--resume``, and the
+    process exits 0.
+    """
+    from repro.serve import ReproService, configure_serve_logging
+    from repro.serve.service import DEFAULT_GC_INTERVAL
+
+    configure_serve_logging(verbose=not args.quiet)
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        resume=args.resume,
+        ttl_seconds=(
+            janitor.parse_duration(args.ttl) if args.ttl else None
+        ),
+        max_bytes=(
+            janitor.parse_size(args.max_bytes) if args.max_bytes else None
+        ),
+        gc_interval=(
+            args.gc_interval
+            if args.gc_interval is not None
+            else DEFAULT_GC_INTERVAL
+        ),
+        ready_file=args.ready_file,
+    )
+    service.start()
+    service.install_signal_handlers()
+    host, port = service.address
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"({args.workers} worker(s), store {service.store.root})")
+    return service.run_forever()
+
+
 COMMANDS = {
     "run": cmd_run,
     "figures": cmd_figures,
@@ -914,6 +1001,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "bench": cmd_bench,
     "clean": cmd_clean,
+    "serve": cmd_serve,
 }
 
 

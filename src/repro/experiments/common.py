@@ -362,7 +362,7 @@ class FaultTolerantFanout:
     ``fn`` must be a picklable module-level callable taking one tuple:
     ``(*task.args, attempt, timeout)``.  It is responsible for honoring
     the timeout (see :func:`_time_limit`) and reporting ``attempt`` to
-    fault-injection hooks, the convention :func:`_compute_pair` and the
+    fault-injection hooks, the convention :func:`compute_pair` and the
     shard-replay workers follow.
 
     Attributes:
@@ -577,7 +577,7 @@ def _workload_identity(name: str) -> str:
     return name
 
 
-def _pair_key(
+def pair_key(
     scale: float, name: str, num_threads: int, machine: str | None = None
 ) -> str:
     """Artifact key for one (benchmark, machine) pass at ``scale``.
@@ -586,6 +586,11 @@ def _pair_key(
     machine's full configuration (which fingerprints its hierarchy
     backend too), and the package code fingerprint — everything a profile
     or full run is a deterministic function of.
+
+    Public fan-out submission hook: callers outside the runner (the
+    ``repro serve`` supervisor) use this to predict where a pass's
+    artifacts land — for warm-store short-circuiting and for coalescing
+    identical requests onto one computation.
     """
     return ArtifactStore.derive_key(
         workload=_workload_identity(name),
@@ -596,8 +601,15 @@ def _pair_key(
     )
 
 
-def _compute_pair(task: tuple) -> tuple[str, int, str | None, dict]:
+def compute_pair(task: tuple) -> tuple[str, int, str | None, dict]:
     """Pool worker: compute the expensive passes for one (benchmark, machine).
+
+    Public fan-out submission hook: a picklable module-level callable in
+    the :class:`FaultTolerantFanout` worker convention, shared by
+    :meth:`ExperimentRunner.prefetch` and the ``repro serve`` job
+    supervisor — both submit the same function, so a served job inherits
+    the retry/timeout/fault-injection semantics (and the byte-identical
+    results) of the batch path.
 
     Args:
         task: ``(name, num_threads, scale, store_root, want_profiles,
@@ -624,7 +636,7 @@ def _compute_pair(task: tuple) -> tuple[str, int, str | None, dict]:
         store = (
             ArtifactStore(root=store_root) if store_root is not None else None
         )
-        key = _pair_key(scale, name, num_threads, machine)
+        key = pair_key(scale, name, num_threads, machine)
         states: dict = {}
         if want_profiles:
             profiles = pipe.profile(workload)
@@ -637,6 +649,11 @@ def _compute_pair(task: tuple) -> tuple[str, int, str | None, dict]:
             if store is not None:
                 store.put("full", key, states["full"])
     return name, num_threads, machine, states
+
+
+#: Backward-compatible private aliases (pre-``repro serve`` callers).
+_pair_key = pair_key
+_compute_pair = compute_pair
 
 
 @dataclass
@@ -794,7 +811,7 @@ class ExperimentRunner:
             store_root = str(self.store.root)
         for name, num_threads, machine in normalized:
             memo_key = (name, num_threads, machine)
-            akey = _pair_key(self.scale, name, num_threads, machine)
+            akey = pair_key(self.scale, name, num_threads, machine)
             want_profiles = "profiles" in kinds and (
                 memo_key not in self._profiles
                 and not (
@@ -847,7 +864,7 @@ class ExperimentRunner:
             completed += self._ingest(task, payload, journal)
 
         fanout = FaultTolerantFanout(
-            fn=_compute_pair, workers=self.workers,
+            fn=compute_pair, workers=self.workers,
             retry=self.retry, report=self.report,
         )
         fanout.run(tasks, on_result=_absorb)
@@ -926,7 +943,7 @@ class ExperimentRunner:
         """Functional profiles (one expensive pass; memo + store cached)."""
         key = (name, num_threads, machine)
         if key not in self._profiles:
-            akey = _pair_key(self.scale, name, num_threads, machine)
+            akey = pair_key(self.scale, name, num_threads, machine)
             states = self._store_get("profiles", akey)
             if states is not None:
                 self._profiles[key] = [
@@ -947,7 +964,7 @@ class ExperimentRunner:
         """Full detailed reference run (one expensive pass; memo + store)."""
         key = (name, num_threads, machine)
         if key not in self._fulls:
-            akey = _pair_key(self.scale, name, num_threads, machine)
+            akey = pair_key(self.scale, name, num_threads, machine)
             state = self._store_get("full", akey)
             if state is not None:
                 self._fulls[key] = FullRunResult.from_state(state)

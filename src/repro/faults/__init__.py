@@ -8,7 +8,9 @@ sites in the runner and store —
 * ``runner.task`` — a profile/full-run pass in a pool worker,
 * ``store.put`` — an artifact write (between temp file and rename),
 * ``store.get`` — an artifact read,
-* ``trace.read`` — a ``.rpt`` chunk read —
+* ``trace.read`` — a ``.rpt`` chunk read,
+* ``serve.request`` — an HTTP request entering the ``repro serve``
+  dispatcher (surfaces as a structured 5xx response, never a hang) —
 
 deterministically: whether a given (site, key, attempt) faults is a pure
 function of the plan's seed, so a faulted run is exactly reproducible.

@@ -21,9 +21,12 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, InjectedFaultError
 
-#: The named injection sites wired into the runner, store, and trace
-#: reader.  Plans may only target these (typos fail loudly).
-FAULT_SITES = ("runner.task", "store.put", "store.get", "trace.read")
+#: The named injection sites wired into the runner, store, trace reader,
+#: and the serve layer's request handler.  Plans may only target these
+#: (typos fail loudly).
+FAULT_SITES = (
+    "runner.task", "store.put", "store.get", "trace.read", "serve.request",
+)
 
 #: Supported fault kinds:
 #:

@@ -1,0 +1,399 @@
+"""Job schema of the experiment service: validation, identity, artifacts.
+
+A :class:`JobSpec` is the unit of work a client submits to ``repro
+serve`` as a JSON object.  The schema is deliberately small — four job
+kinds covering everything the CLI can compute:
+
+* ``profile`` — the functional profiling pass of one (workload, threads,
+  machine) triple;
+* ``full`` — the detailed full-run pass of the same triple;
+* ``figure`` — one rendered battery figure/table (``fig1`` ... ``table3``,
+  ``ablations``);
+* ``sweep`` — the cross-architecture transfer matrix (machines ×
+  workloads).
+
+Validation is loud and happens at submission time: unknown fields,
+unknown workloads/machines/figures, malformed dynamic workload names
+(``fuzz-007`` instead of ``fuzz-7``), and kind/field mismatches all
+raise :class:`~repro.errors.ConfigError` /
+:class:`~repro.errors.WorkloadError` with the same message contract the
+CLI prints after ``repro: error:`` — the API returns them as structured
+400 responses.
+
+Identity: :meth:`JobSpec.fingerprint` digests the canonical spec plus
+the package code fingerprint.  Two submissions with equal fingerprints
+denote the same computation — the key the supervisor coalesces on — and
+:meth:`JobSpec.artifacts` names the store artifacts that computation
+produces, which is how a submission can be served warm from the store
+without computing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.experiments import battery
+from repro.experiments.common import (
+    ExperimentRunner,
+    _resolve_machine,
+    pair_key,
+)
+from repro.store import ArtifactStore, code_fingerprint
+from repro.workloads import canonical_workload_name
+
+#: The job kinds the submission schema accepts.
+JOB_KINDS = ("profile", "full", "figure", "sweep")
+
+#: Every field a job-submission JSON object may carry.
+JOB_FIELDS = (
+    "kind", "workload", "threads", "machine", "figure",
+    "benchmarks", "machines", "scale",
+)
+
+#: Artifact kind produced per pass-style job kind.
+_PASS_ARTIFACT = {"profile": "profiles", "full": "full"}
+
+
+def _require_str(value: object, what: str) -> str:
+    """Coerce a schema field to ``str``, loudly."""
+    if not isinstance(value, str) or not value:
+        raise ConfigError(
+            f"job field {what!r} must be a non-empty string, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _require_int(value: object, what: str) -> int:
+    """Coerce a schema field to ``int``, loudly (bools are not ints)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(
+            f"job field {what!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _require_names(value: object, what: str) -> tuple[str, ...]:
+    """Coerce a schema field to a tuple of name strings, loudly."""
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ConfigError(
+            f"job field {what!r} must be a list of name strings, "
+            f"got {value!r}"
+        )
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated job submission.
+
+    Attributes:
+        kind: One of :data:`JOB_KINDS`.
+        workload: Workload name (``profile``/``full`` kinds) — registry,
+            ``fuzz-<seed>``, or ``trace:<path>`` names, all validated
+            canonically.
+        threads: Thread count of the pass (``profile``/``full``; default
+            8).
+        machine: Registry machine of the pass (``profile``/``full``;
+            ``None`` = the default evaluation machine for ``threads``).
+        figure: Experiment name (``figure`` kind), one of the battery's
+            figures/tables.
+        benchmarks: Workload subset for ``figure``/``sweep`` kinds
+            (empty = the paper suite).
+        machines: Registry machine set for the ``sweep`` kind (empty =
+            the default sweep set).
+        scale: Workload scale factor (> 0; 1.0 = paper scale).
+    """
+
+    kind: str
+    workload: str | None = None
+    threads: int | None = None
+    machine: str | None = None
+    figure: str | None = None
+    benchmarks: tuple[str, ...] = ()
+    machines: tuple[str, ...] = ()
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        """Validate the spec loudly at construction."""
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "machines", tuple(self.machines))
+        if self.kind not in JOB_KINDS:
+            raise ConfigError(
+                f"unknown job kind {self.kind!r}; known kinds: "
+                f"{list(JOB_KINDS)}"
+            )
+        if not isinstance(self.scale, (int, float)) or isinstance(
+            self.scale, bool
+        ) or not self.scale > 0:
+            raise ConfigError(
+                f"job field 'scale' must be a number > 0, got {self.scale!r}"
+            )
+        object.__setattr__(self, "scale", float(self.scale))
+        if self.kind in _PASS_ARTIFACT:
+            self._validate_pass()
+        else:
+            self._validate_figure()
+
+    def _validate_pass(self) -> None:
+        """Validate a ``profile``/``full`` spec (workload + machine axis)."""
+        self._reject_fields("figure", "benchmarks", "machines")
+        if self.workload is None:
+            raise ConfigError(
+                f"{self.kind!r} jobs need a 'workload' field "
+                f"(registry name, fuzz-<seed>, or trace:<path>)"
+            )
+        canonical_workload_name(_require_str(self.workload, "workload"))
+        threads = 8 if self.threads is None else self.threads
+        object.__setattr__(
+            self, "threads", _require_int(threads, "threads")
+        )
+        if self.machine is not None:
+            _require_str(self.machine, "machine")
+        # Resolves the machine eagerly: unknown registry names and
+        # thread counts with no evaluation machine fail at submission,
+        # not inside a worker.
+        resolved = _resolve_machine(self.threads, self.machine)
+        if resolved.num_cores < self.threads:
+            raise ConfigError(
+                f"machine {self.machine!r} has {resolved.num_cores} cores "
+                f"but the job asks for {self.threads} threads; pick a "
+                f"machine with at least {self.threads} cores "
+                f"(see `repro machines`)"
+            )
+
+    def _validate_figure(self) -> None:
+        """Validate a ``figure``/``sweep`` spec (battery axis)."""
+        self._reject_fields("workload", "threads", "machine")
+        if self.kind == "figure":
+            if self.figure is None:
+                raise ConfigError(
+                    f"'figure' jobs need a 'figure' field; known figures: "
+                    f"{list(battery.EXPERIMENTS)}"
+                )
+            _require_str(self.figure, "figure")
+            if self.figure not in battery.EXPERIMENTS:
+                raise ConfigError(
+                    f"unknown figure {self.figure!r}; known figures: "
+                    f"{list(battery.EXPERIMENTS)}"
+                )
+            if self.machines and self.figure != "sweep":
+                raise ConfigError(
+                    "job field 'machines' only applies to sweep jobs "
+                    "(kind 'sweep', or figure 'sweep')"
+                )
+        else:
+            self._reject_fields("figure")
+        for name in self.benchmarks:
+            canonical_workload_name(_require_str(name, "benchmarks[]"))
+        if self.machines:
+            from repro.machines import machine_names
+
+            unknown = [
+                m for m in self.machines if m not in machine_names()
+            ]
+            if unknown:
+                raise ConfigError(
+                    f"unknown machines {unknown}; known: "
+                    f"{list(machine_names())}"
+                )
+
+    def _reject_fields(self, *names: str) -> None:
+        """Reject fields that do not apply to this job kind, loudly."""
+        offending = [
+            name for name in names
+            if getattr(self, name) not in (None, ())
+        ]
+        if offending:
+            raise ConfigError(
+                f"{self.kind!r} jobs do not take field(s) {offending}"
+            )
+
+    # ------------------------------------------------------------------
+    # Schema round-trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: object) -> JobSpec:
+        """Build a spec from a submission JSON object, loudly.
+
+        The inverse of :meth:`to_dict`: every spec round-trips
+        bit-identically through its JSON form, including dynamic
+        workload names (``fuzz-<seed>``, ``trace:<path>``).
+
+        Args:
+            payload: The decoded JSON body of a ``POST /jobs`` request.
+
+        Returns:
+            The validated spec.
+
+        Raises:
+            ConfigError: On non-objects, unknown fields, bad field
+                types, or any validation failure.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"job spec must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - set(JOB_FIELDS))
+        if unknown:
+            raise ConfigError(
+                f"unknown job field(s) {unknown}; allowed fields: "
+                f"{list(JOB_FIELDS)}"
+            )
+        kwargs: dict = {"kind": payload.get("kind")}
+        if kwargs["kind"] is None:
+            raise ConfigError(
+                f"job spec needs a 'kind' field; known kinds: "
+                f"{list(JOB_KINDS)}"
+            )
+        _require_str(kwargs["kind"], "kind")
+        for name in ("workload", "machine", "figure"):
+            if payload.get(name) is not None:
+                kwargs[name] = _require_str(payload[name], name)
+        if payload.get("threads") is not None:
+            kwargs["threads"] = _require_int(payload["threads"], "threads")
+        for name in ("benchmarks", "machines"):
+            if payload.get(name) is not None:
+                kwargs[name] = _require_names(payload[name], name)
+        if payload.get("scale") is not None:
+            kwargs["scale"] = payload["scale"]
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        """The spec's canonical JSON form (round-trips via
+        :meth:`from_dict`)."""
+        payload: dict = {"kind": self.kind, "scale": self.scale}
+        for name in ("workload", "threads", "machine", "figure"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        for name in ("benchmarks", "machines"):
+            value = getattr(self, name)
+            if value:
+                payload[name] = list(value)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Identity and artifacts
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Digest of everything that determines this job's results.
+
+        Covers the canonical spec and the package code fingerprint — the
+        request-coalescing key: submissions with equal fingerprints are
+        one computation.
+        """
+        return ArtifactStore.derive_key(
+            job=self.to_dict(), code=code_fingerprint()
+        )
+
+    def label(self) -> str:
+        """Human identity for logs, reports, and fault-site keys."""
+        if self.kind in _PASS_ARTIFACT:
+            suffix = f"@{self.machine}" if self.machine else ""
+            return f"{self.kind}:{self.workload}/{self.threads}t{suffix}"
+        return f"{self.kind}:{self.effective_figure()}"
+
+    def effective_figure(self) -> str | None:
+        """The battery experiment this job renders (``None`` for passes)."""
+        if self.kind == "figure":
+            return self.figure
+        if self.kind == "sweep":
+            return "sweep"
+        return None
+
+    def runner(self, store: ArtifactStore | None) -> ExperimentRunner:
+        """The experiment runner configuration this job executes with.
+
+        Built identically at submission time (``store=None``, for
+        artifact-key prediction) and execution time (a real store), so
+        predicted and produced store keys always agree.
+
+        Args:
+            store: Artifact store for the runner (``None`` = in-memory).
+
+        Returns:
+            A serial (``workers=0``) runner for this spec.
+        """
+        kwargs: dict = {}
+        if self.benchmarks:
+            kwargs["benchmarks"] = self.benchmarks
+        if self.machines:
+            kwargs["sweep_machines"] = self.machines
+        return ExperimentRunner(
+            scale=self.scale, workers=0, store=store, **kwargs
+        )
+
+    def artifacts(self) -> tuple[tuple[str, str], ...]:
+        """The ``(kind, key)`` store artifacts this job produces.
+
+        Deterministic at submission time: the supervisor uses this to
+        serve warm submissions straight from the store and the API's
+        job-status response points clients at these for fetching.
+
+        Returns:
+            One ``(artifact_kind, store_key)`` pair per artifact.
+        """
+        if self.kind in _PASS_ARTIFACT:
+            key = pair_key(
+                self.scale, self.workload, self.threads, self.machine
+            )
+            return ((_PASS_ARTIFACT[self.kind], key),)
+        name = self.effective_figure()
+        return (
+            ("figure", battery.figure_key(self.runner(store=None), name)),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's lifecycle record (what ``GET /jobs/<id>`` shows).
+
+    Attributes:
+        id: Server-assigned job id.
+        spec: The validated submission.
+        fingerprint: The spec's coalescing fingerprint.
+        state: ``"queued"``, ``"running"``, ``"done"``, or ``"failed"``.
+        coalesced: Whether this submission attached to an in-flight
+            identical computation instead of starting its own.
+        cached: Whether the job completed instantly from warm store
+            artifacts (no computation at all).
+        resumed: Whether the job was restored from the journal by
+            ``--resume`` rather than submitted over HTTP this run.
+        artifacts: The ``(kind, key)`` artifacts (set when done).
+        error: Failure description (set when failed).
+    """
+
+    id: str
+    spec: JobSpec
+    fingerprint: str
+    state: str = "queued"
+    coalesced: bool = False
+    cached: bool = False
+    resumed: bool = False
+    artifacts: tuple[tuple[str, str], ...] = ()
+    error: str | None = None
+    attempts: int = 0
+    errors: tuple[str, ...] = field(default=(), repr=False)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the API."""
+        return {
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "coalesced": self.coalesced,
+            "cached": self.cached,
+            "resumed": self.resumed,
+            "artifacts": [list(pair) for pair in self.artifacts],
+            "error": self.error,
+            "attempts": self.attempts,
+            "errors": list(self.errors),
+        }

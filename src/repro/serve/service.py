@@ -1,0 +1,239 @@
+"""Process lifecycle of ``repro serve``: HTTP + janitor + graceful drain.
+
+:class:`ReproService` composes the three long-lived pieces of the
+experiment service into one process:
+
+* the :class:`~repro.serve.api.ServeHTTPServer` on its own thread,
+* the :class:`~repro.serve.supervisor.JobSupervisor` worker pool,
+* a background janitor cadence running the store's TTL/quota GC sweep
+  (:func:`~repro.store.janitor.collect_garbage`) every ``gc_interval``
+  seconds — the PR 5 janitor as a service, instead of a runner-exit
+  hook.
+
+Shutdown is a graceful drain: ``SIGTERM``/``SIGINT`` (or a test calling
+:meth:`ReproService.request_shutdown`) flips the supervisor into
+draining — new submissions get structured 503s — running jobs finish,
+the queued backlog stays in the journal for a later ``--resume``, the
+HTTP listener stops, and the process exits 0.
+
+An optional *ready file* is written once the server is listening, with
+the bound host/port/pid as JSON — how the CI smoke harness finds the
+ephemeral port.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import signal
+import threading
+
+from repro.experiments.common import RetryPolicy
+from repro.serve.api import ServeHTTPServer, log
+from repro.serve.supervisor import JobSupervisor
+from repro.store import ArtifactStore, collect_garbage
+
+#: Default janitor cadence in seconds.
+DEFAULT_GC_INTERVAL = 300.0
+
+
+class ReproService:
+    """One experiment-service process: HTTP API + supervisor + janitor.
+
+    Args:
+        host: Bind host.
+        port: Bind port (0 = ephemeral; see :attr:`address`).
+        workers: Supervisor worker-thread count.
+        resume: Restore the journaled backlog on start.
+        store: Artifact store (default: environment-configured).
+        retry: Per-computation retry budget (default: environment).
+        ttl_seconds: Janitor TTL (``None`` disables TTL expiry).
+        max_bytes: Janitor size quota (``None`` disables the quota).
+        gc_interval: Seconds between janitor sweeps (sweeps run only
+            when a TTL or quota is configured).
+        ready_file: Path to write ``{"host", "port", "pid"}`` JSON to
+            once listening (``None`` = don't).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        resume: bool = False,
+        store: ArtifactStore | None = None,
+        retry: RetryPolicy | None = None,
+        ttl_seconds: float | None = None,
+        max_bytes: int | None = None,
+        gc_interval: float = DEFAULT_GC_INTERVAL,
+        ready_file: str | os.PathLike | None = None,
+    ) -> None:
+        self.store = store if store is not None else ArtifactStore()
+        self.supervisor = JobSupervisor(
+            store=self.store, workers=workers, retry=retry, resume=resume
+        )
+        self.httpd = ServeHTTPServer((host, port), self.supervisor)
+        self.ttl_seconds = ttl_seconds
+        self.max_bytes = max_bytes
+        self.gc_interval = max(1.0, float(gc_interval))
+        self.ready_file = (
+            pathlib.Path(ready_file) if ready_file is not None else None
+        )
+        self.gc_sweeps = 0
+        self._shutdown = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (the real port when 0 was asked)."""
+        return self.httpd.server_address[:2]
+
+    def start(self) -> None:
+        """Start the supervisor, HTTP listener, and janitor cadence."""
+        self.supervisor.start()
+        http_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        http_thread.start()
+        self._threads.append(http_thread)
+        if self._gc_enabled():
+            gc_thread = threading.Thread(
+                target=self._janitor_loop,
+                name="repro-serve-janitor",
+                daemon=True,
+            )
+            gc_thread.start()
+            self._threads.append(gc_thread)
+        self._write_ready_file()
+        host, port = self.address
+        log.info(json.dumps({
+            "event": "listening", "host": host, "port": port,
+            "workers": self.supervisor.workers,
+            "resumed": self.supervisor.counters.resumed,
+        }, sort_keys=True))
+
+    def install_signal_handlers(self) -> None:
+        """Route ``SIGTERM``/``SIGINT`` into a graceful drain.
+
+        Main-thread only (signal module restriction); the CLI entry
+        point calls this, in-process tests drive
+        :meth:`request_shutdown` directly.
+        """
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, self._on_signal)
+
+    def _on_signal(self, signum, frame) -> None:
+        """Signal handler: begin the drain."""
+        log.info(json.dumps({
+            "event": "signal", "signal": signal.Signals(signum).name,
+        }, sort_keys=True))
+        self.request_shutdown()
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, thread-safe)."""
+        self.supervisor.begin_drain()
+        self._shutdown.set()
+
+    def run_forever(self) -> int:
+        """Serve until a shutdown is requested, then drain.
+
+        Returns:
+            0 — a drained shutdown is the service's success path.
+        """
+        self._shutdown.wait()
+        return self.stop()
+
+    def stop(self) -> int:
+        """Drain and stop everything; return the (0) exit status."""
+        self.supervisor.begin_drain()
+        self._shutdown.set()
+        left = self.supervisor.drain()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self.ready_file is not None:
+            try:
+                self.ready_file.unlink()
+            except OSError:
+                pass
+        log.info(json.dumps({
+            "event": "drained", "journaled": left,
+        }, sort_keys=True))
+        return 0
+
+    # ------------------------------------------------------------------
+    # Janitor cadence
+    # ------------------------------------------------------------------
+
+    def _gc_enabled(self) -> bool:
+        """Whether the janitor cadence has anything to enforce."""
+        return self.store.enabled and (
+            self.ttl_seconds is not None or self.max_bytes is not None
+        )
+
+    def _janitor_loop(self) -> None:
+        """Run the GC sweep every ``gc_interval`` seconds until shutdown."""
+        while not self._shutdown.wait(self.gc_interval):
+            self.run_gc_sweep()
+
+    def run_gc_sweep(self) -> None:
+        """One janitor sweep (also callable directly, e.g. from tests)."""
+        try:
+            stats = collect_garbage(
+                self.store,
+                ttl_seconds=self.ttl_seconds,
+                max_bytes=self.max_bytes,
+            )
+        except OSError as exc:  # pragma: no cover - disk trouble
+            log.warning(json.dumps({
+                "event": "gc-error", "error": str(exc),
+            }, sort_keys=True))
+            return
+        self.gc_sweeps += 1
+        log.info(json.dumps({
+            "event": "gc",
+            "removed": len(stats.removed),
+            "freed_bytes": stats.freed_bytes,
+        }, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _write_ready_file(self) -> None:
+        """Publish the bound address for out-of-process harnesses."""
+        if self.ready_file is None:
+            return
+        host, port = self.address
+        self.ready_file.parent.mkdir(parents=True, exist_ok=True)
+        self.ready_file.write_text(json.dumps({
+            "host": host, "port": port, "pid": os.getpid(),
+        }, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def configure_serve_logging(verbose: bool = True) -> None:
+    """Give the ``repro.serve`` logger a stderr handler, once.
+
+    Args:
+        verbose: ``False`` silences the request log entirely.
+    """
+    if not verbose:
+        log.addHandler(logging.NullHandler())
+        log.propagate = False
+        return
+    if any(
+        not isinstance(h, logging.NullHandler) for h in log.handlers
+    ):
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    log.addHandler(handler)
+    log.setLevel(logging.INFO)
+    log.propagate = False

@@ -11,7 +11,12 @@ See :mod:`repro.store.artifacts` for the file format and durability
 guarantees and :mod:`repro.store.fingerprint` for key derivation.
 """
 
-from repro.store.artifacts import DEFAULT_ROOT, SCHEMA_VERSION, ArtifactStore
+from repro.store.artifacts import (
+    DEFAULT_ROOT,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    put_count,
+)
 from repro.store.fingerprint import (
     code_fingerprint,
     config_fingerprint,
@@ -29,4 +34,5 @@ __all__ = [
     "config_fingerprint",
     "gc_from_env",
     "module_fingerprint",
+    "put_count",
 ]

@@ -62,6 +62,33 @@ DEFAULT_IO_RETRIES = 2
 _IO_BACKOFF_SECONDS = 0.01
 
 
+#: Process-wide artifact-write counter (monotonic, across *all* store
+#: instances).  The serve layer's coalescing proof reads it: N identical
+#: concurrent submissions must advance it by the artifact count of one
+#: computation, not N.  Read it through :func:`put_count`.
+_PUT_COUNT = 0
+
+
+def put_count() -> int:
+    """Total successful artifact writes in this process (all stores).
+
+    Counts every :meth:`ArtifactStore.put` / :meth:`ArtifactStore.put_file`
+    that actually wrote a file.  Callers snapshot it before and after an
+    operation to assert how many computations hit the disk (the request
+    coalescing invariant of ``repro serve``).
+
+    Returns:
+        The monotonic write count.
+    """
+    return _PUT_COUNT
+
+
+def _count_put() -> None:
+    """Advance the process-wide write counter (GIL-atomic increment)."""
+    global _PUT_COUNT
+    _PUT_COUNT += 1
+
+
 def _io_retries() -> int:
     """Configured transient-I/O retry count (``$REPRO_STORE_IO_RETRIES``)."""
     return int(os.environ.get("REPRO_STORE_IO_RETRIES", DEFAULT_IO_RETRIES))
@@ -210,6 +237,7 @@ class ArtifactStore:
         blob = maybe_corrupt("store.put", f"{kind}/{key}", blob)
         self._atomic_write(path, key, lambda handle: handle.write(blob),
                            fault_key=f"{kind}/{key}")
+        _count_put()
         return path
 
     @staticmethod
@@ -283,6 +311,7 @@ class ArtifactStore:
                 shutil.copyfileobj(src, handle)
 
         self._atomic_write(path, key, copy_source, fault_key=f"{kind}/{key}")
+        _count_put()
         return path
 
     def get_file(
@@ -326,6 +355,51 @@ class ArtifactStore:
         self.hits += 1
         self._touch(path)
         return path
+
+    def payload_bytes(self, kind: str, key: str) -> bytes | None:
+        """Validated raw payload bytes of an artifact, with miss semantics.
+
+        The artifact-by-key read path of the serve layer: returns the
+        pickled payload *body* (the bytes after the magic and checksum
+        header) only after the whole-body SHA-256 check passes, so an
+        HTTP client can never be handed a torn or corrupted body — a
+        file that is missing, truncated, or fails its checksum is a miss
+        (``None``), and corrupt files are unlinked so the next ``put``
+        heals the store.  Exactly one full read is performed; callers
+        stream the returned bytes out in chunks.
+
+        Args:
+            kind: Artifact namespace (``"profiles"``, ``"figure"``, ...).
+            key: Key from :meth:`derive_key`.
+
+        Returns:
+            The validated payload bytes, or ``None`` on miss/corruption.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(kind, key)
+
+        def read_once(attempt: int) -> bytes:
+            """One read attempt, preceded by the ``store.get`` fault hook."""
+            maybe_inject("store.get", key=f"{kind}/{key}", attempt=attempt)
+            return path.read_bytes()
+
+        try:
+            blob = _with_io_retries(read_once)
+        except OSError:
+            self.misses += 1
+            return None
+        body = self._validated_body(blob)
+        if body is None:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup is fine
+                pass
+            return None
+        self.hits += 1
+        self._touch(path)
+        return body
 
     def get_or_compute(self, kind: str, key: str, compute) -> object:
         """Return the cached artifact, computing and storing it on miss.
@@ -433,14 +507,26 @@ class ArtifactStore:
             pass
 
     @staticmethod
-    def _decode(blob: bytes) -> tuple[object] | None:
-        """Validate and unpickle an artifact file's bytes (``None`` = bad)."""
+    def _validated_body(blob: bytes) -> bytes | None:
+        """Checksum-validate an artifact file's bytes (``None`` = bad).
+
+        Returns the payload body (the bytes the stored SHA-256 covers)
+        only when the magic and digest both check out.
+        """
         header = len(_MAGIC) + _DIGEST_BYTES
         if len(blob) < header or not blob.startswith(_MAGIC):
             return None
         digest = blob[len(_MAGIC):header]
         body = blob[header:]
         if hashlib.sha256(body).digest() != digest:
+            return None
+        return body
+
+    @classmethod
+    def _decode(cls, blob: bytes) -> tuple[object] | None:
+        """Validate and unpickle an artifact file's bytes (``None`` = bad)."""
+        body = cls._validated_body(blob)
+        if body is None:
             return None
         try:
             payload = pickle.loads(body)

@@ -88,6 +88,71 @@ def is_dynamic_workload(name: str) -> bool:
     return bool(FUZZ_NAME_RE.match(name)) or name.startswith(TRACE_NAME_PREFIX)
 
 
+def _unknown_workload_error(name: str) -> WorkloadError:
+    """The loud unknown-name error, shared by every name validator."""
+    extensions = sorted(set(_REGISTRY) - set(WORKLOAD_NAMES))
+    return WorkloadError(
+        f"unknown workload {name!r}; paper suite: "
+        f"{sorted(WORKLOAD_NAMES)}; extension workloads (not in the "
+        f"paper's figures): {extensions}; dynamic names: 'fuzz-<seed>' "
+        f"(scenario fuzzer) and 'trace:<path>' (recorded-trace replay)"
+    )
+
+
+def canonical_workload_name(name: str) -> str:
+    """Validate a workload name, loudly, and return its canonical form.
+
+    Static registry names validate against the registry.  Dynamic names
+    are checked structurally *and* canonically:
+
+    * ``fuzz-<seed>`` must use the seed's canonical decimal rendering —
+      ``fuzz-007`` is rejected because the scenario it denotes is named
+      ``fuzz-7``, and accepting both would alias one computation under
+      two artifact-store keys (and defeat the serve layer's request
+      coalescing).  Seed-range violations (negative, non-integer,
+      > 2**63 - 1) are rejected by :class:`ScenarioFuzzer` itself.
+    * ``trace:<path>`` must name a non-empty path (the file itself is
+      validated when the trace is opened).
+
+    This is the single name gate shared by :func:`get_workload` and the
+    job-submission schema of ``repro serve``, so a name that round-trips
+    through the service JSON is exactly a name the CLI accepts.
+
+    Args:
+        name: The workload name to validate.
+
+    Returns:
+        ``name``, unchanged (validation never rewrites silently).
+
+    Raises:
+        WorkloadError: For unknown, malformed, or non-canonical names.
+    """
+    if not isinstance(name, str):
+        raise WorkloadError(
+            f"workload name must be a string, got {type(name).__name__}"
+        )
+    fuzz = FUZZ_NAME_RE.match(name)
+    if fuzz:
+        canonical = ScenarioFuzzer(int(fuzz.group(1))).name
+        if canonical != name:
+            raise WorkloadError(
+                f"non-canonical fuzzer name {name!r}: that scenario is "
+                f"named {canonical!r} (seeds use their canonical decimal "
+                f"form so one scenario has one store key)"
+            )
+        return name
+    if name.startswith(TRACE_NAME_PREFIX):
+        if not name[len(TRACE_NAME_PREFIX):]:
+            raise WorkloadError(
+                f"trace workload name {name!r} names no path; "
+                f"use trace:<path-to-.rpt>"
+            )
+        return name
+    if name not in _REGISTRY:
+        raise _unknown_workload_error(name)
+    return name
+
+
 def get_workload(name: str, num_threads: int, scale: float = 1.0) -> Workload:
     """Instantiate a workload by name.
 
@@ -108,8 +173,10 @@ def get_workload(name: str, num_threads: int, scale: float = 1.0) -> Workload:
         The instantiated workload.
 
     Raises:
-        WorkloadError: For unknown names or a trace thread-count mismatch.
+        WorkloadError: For unknown, malformed, or non-canonical names, or
+            a trace thread-count mismatch.
     """
+    name = canonical_workload_name(name)
     fuzz = FUZZ_NAME_RE.match(name)
     if fuzz:
         return ScenarioFuzzer(int(fuzz.group(1))).workload(
@@ -120,17 +187,7 @@ def get_workload(name: str, num_threads: int, scale: float = 1.0) -> Workload:
             name[len(TRACE_NAME_PREFIX):],
             num_threads=num_threads,
         )
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        extensions = sorted(set(_REGISTRY) - set(WORKLOAD_NAMES))
-        raise WorkloadError(
-            f"unknown workload {name!r}; paper suite: "
-            f"{sorted(WORKLOAD_NAMES)}; extension workloads (not in the "
-            f"paper's figures): {extensions}; dynamic names: 'fuzz-<seed>' "
-            f"(scenario fuzzer) and 'trace:<path>' (recorded-trace replay)"
-        ) from None
-    return cls(num_threads=num_threads, scale=scale)
+    return _REGISTRY[name](num_threads=num_threads, scale=scale)
 
 
 __all__ = [
@@ -153,6 +210,7 @@ __all__ = [
     "TRACE_NAME_PREFIX",
     "WORKLOAD_NAMES",
     "Workload",
+    "canonical_workload_name",
     "get_workload",
     "is_dynamic_workload",
     "registered_workloads",

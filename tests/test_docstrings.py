@@ -2,8 +2,9 @@
 
 Mirrors the pydocstyle/ruff "missing docstring" rules (D100-D104) with no
 third-party dependency, scoped — per the documentation policy — to
-``repro.experiments``, ``repro.store``, and ``repro.sim``.  CI additionally
-runs ruff's ``D1`` rules over the same packages.
+``repro.experiments``, ``repro.store``, ``repro.sim``, and
+``repro.serve``.  CI additionally runs ruff's ``D1`` rules over the same
+packages.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ import pathlib
 SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
 
 #: Packages under the documentation mandate.
-AUDITED = ("experiments", "store", "sim")
+AUDITED = ("experiments", "store", "sim", "serve")
 
 
 def _is_public(name: str) -> bool:

@@ -369,3 +369,63 @@ class TestJanitor:
         runner = make_runner(tmp_path, workers=0)
         battery.run_experiments(runner, ["fig1"])
         assert runner.store.size_bytes() == 0
+
+
+class TestPayloadBytes:
+    """The artifact-by-key raw read path behind ``GET /artifacts/...``."""
+
+    def test_returns_exact_on_disk_body(self, store):
+        key = store.derive_key(x="body")
+        payload = {"arr": np.arange(16), "s": "text"}
+        path = store.put("demo", key, payload)
+        body = store.payload_bytes("demo", key)
+        assert body is not None
+        assert path.read_bytes().endswith(body)  # the bytes after the header
+        import pickle
+
+        (loaded,) = pickle.loads(body)
+        assert loaded["s"] == "text"
+        assert np.array_equal(loaded["arr"], payload["arr"])
+
+    def test_miss_and_disabled_are_none(self, store, tmp_path):
+        assert store.payload_bytes("demo", store.derive_key(x="no")) is None
+        disabled = ArtifactStore(root=tmp_path / "off", enabled=False)
+        assert disabled.payload_bytes("demo", "any") is None
+
+    def test_bit_flip_is_a_miss_and_heals(self, store):
+        key = store.derive_key(x="flip")
+        path = store.put("demo", key, list(range(500)))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        assert store.payload_bytes("demo", key) is None
+        assert not path.exists()  # corrupt file unlinked, next put heals
+        store.put("demo", key, list(range(500)))
+        assert store.payload_bytes("demo", key) is not None
+
+    def test_truncated_header_is_a_miss(self, store):
+        key = store.derive_key(x="short")
+        path = store.put("demo", key, "payload")
+        path.write_bytes(path.read_bytes()[:8])
+        assert store.payload_bytes("demo", key) is None
+
+
+class TestPutCount:
+    """The process-wide write counter behind the coalescing proof."""
+
+    def test_counts_successful_puts_across_stores(self, store, tmp_path):
+        from repro.store import put_count
+
+        before = put_count()
+        store.put("demo", store.derive_key(x=1), "a")
+        other = ArtifactStore(root=tmp_path / "other")
+        other.put("demo", other.derive_key(x=2), "b")
+        assert put_count() - before == 2
+
+    def test_disabled_store_does_not_count(self, tmp_path):
+        from repro.store import put_count
+
+        before = put_count()
+        disabled = ArtifactStore(root=tmp_path / "off", enabled=False)
+        disabled.put("demo", "k", "payload")
+        assert put_count() == before

@@ -63,6 +63,42 @@ class TestRegistry:
             get_workload("npb-ft", 4, scale=0.0)
 
 
+class TestCanonicalNames:
+    """Canonical-form validation of dynamic workload names (the names
+    that must round-trip through the serve job-submission schema)."""
+
+    def test_registry_and_dynamic_names_pass_through(self, tmp_path):
+        from repro.workloads import canonical_workload_name
+
+        assert canonical_workload_name("npb-ft") == "npb-ft"
+        assert canonical_workload_name("fuzz-7") == "fuzz-7"
+        assert canonical_workload_name("fuzz-0") == "fuzz-0"
+        path = f"trace:{tmp_path}/t.rpt"
+        assert canonical_workload_name(path) == path
+
+    def test_non_canonical_fuzz_seed_is_loud(self):
+        from repro.workloads import canonical_workload_name
+
+        with pytest.raises(WorkloadError, match="fuzz-7"):
+            canonical_workload_name("fuzz-007")
+        with pytest.raises(WorkloadError):
+            get_workload("fuzz-007", 4)
+
+    def test_pathless_trace_name_is_loud(self):
+        from repro.workloads import canonical_workload_name
+
+        with pytest.raises(WorkloadError, match="trace:<path"):
+            canonical_workload_name("trace:")
+
+    def test_unknown_and_non_string_names_are_loud(self):
+        from repro.workloads import canonical_workload_name
+
+        with pytest.raises(WorkloadError, match="paper suite"):
+            canonical_workload_name("npb-nope")
+        with pytest.raises(WorkloadError, match="string"):
+            canonical_workload_name(7)
+
+
 @pytest.mark.parametrize("name", WORKLOAD_NAMES)
 class TestPerWorkload:
     def test_barrier_count_matches_paper(self, name):

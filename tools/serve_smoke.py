@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Serve smoke: boot the service, prove coalescing, drain on SIGTERM.
+
+The CI serve job (the PR 9 acceptance check):
+
+1. start ``repro serve --port 0`` as a real subprocess against a fresh
+   store, discovering the ephemeral port through ``--ready-file``;
+2. submit the same scale-0.1 figure job **twice concurrently** and
+   assert both complete with identical artifacts while the supervisor
+   stats report exactly **one** computation (request coalescing);
+3. submit it a third time and assert an instant warm-store completion
+   (``cached`` record, store put counter unchanged);
+4. fetch the figure artifact by store key and assert a 200 with a
+   non-empty body;
+5. ``SIGTERM`` the server and assert a graceful drain: exit status 0;
+6. restart with ``--resume`` and assert the journal restored all three
+   jobs as completed, then drain again (exit 0).
+
+Usage::
+
+    python tools/serve_smoke.py [--workdir DIR] [--scale S]
+
+Exits non-zero with a diagnostic on any failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BOOT_DEADLINE = 120.0
+JOB_DEADLINE = 600.0
+
+
+def _env(store: pathlib.Path) -> dict:
+    """Subprocess environment pointed at ``store``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_STORE_DIR"] = str(store)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULT_SEED", None)
+    return env
+
+
+def _fail(message: str) -> int:
+    """Print a diagnostic and return the failure exit code."""
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+class Server:
+    """One ``repro serve`` subprocess and its HTTP address."""
+
+    def __init__(self, store: pathlib.Path, ready: pathlib.Path,
+                 resume: bool = False) -> None:
+        args = [sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--workers", "2", "--ready-file", str(ready)]
+        if resume:
+            args.append("--resume")
+        self.proc = subprocess.Popen(
+            args, env=_env(store), cwd=REPO_ROOT,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        end = time.monotonic() + BOOT_DEADLINE
+        while not ready.is_file():
+            if self.proc.poll() is not None or time.monotonic() > end:
+                raise RuntimeError(
+                    f"server did not come up: {self.proc.stderr.read()}"
+                )
+            time.sleep(0.05)
+        info = json.loads(ready.read_text())
+        self.base = f"http://{info['host']}:{info['port']}"
+
+    def get(self, path: str, raw: bool = False):
+        """GET ``path``; returns ``(status, body)``."""
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=60) as r:
+                body = r.read()
+                return r.status, (body if raw else json.loads(body))
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read())
+
+    def post(self, path: str, payload: dict):
+        """POST JSON to ``path``; returns ``(status, decoded body)``."""
+        req = urllib.request.Request(
+            self.base + path, data=json.dumps(payload).encode(),
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as r:
+                return r.status, json.loads(r.read())
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read())
+
+    def wait_job(self, job_id: str) -> dict:
+        """Poll one job to a terminal state."""
+        end = time.monotonic() + JOB_DEADLINE
+        while time.monotonic() < end:
+            status, record = self.get(f"/jobs/{job_id}")
+            if status == 200 and record["state"] in ("done", "failed"):
+                return record
+            time.sleep(0.1)
+        raise RuntimeError(f"job {job_id} did not finish")
+
+    def terminate(self) -> int:
+        """SIGTERM the server and return its exit status."""
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=120)
+
+    def kill(self) -> None:
+        """Hard-kill (cleanup path only)."""
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def serve_smoke(workdir: pathlib.Path, scale: float) -> int:
+    """Run the boot + coalesce + drain + resume smoke; return exit code."""
+    store = workdir / "store"
+    spec = {"kind": "figure", "figure": "fig1", "scale": scale,
+            "benchmarks": ["npb-is"]}
+
+    print("serve_smoke: [1/5] booting repro serve ...")
+    server = Server(store, workdir / "ready.json")
+    try:
+        status, health = server.get("/healthz")
+        if (status, health.get("status")) != (200, "ok"):
+            return _fail(f"healthz: {status} {health}")
+
+        print("serve_smoke: [2/5] two concurrent identical submissions ...")
+        results: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+
+        def _submit() -> None:
+            response = server.post("/jobs", spec)
+            with lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=_submit) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if sorted(s for s, _ in results) != [202, 202]:
+            return _fail(f"submissions not accepted: {results}")
+        records = [server.wait_job(r["id"]) for _, r in results]
+        if any(r["state"] != "done" for r in records):
+            return _fail(f"jobs did not complete: {records}")
+        if records[0]["artifacts"] != records[1]["artifacts"]:
+            return _fail(f"artifact mismatch across completions: {records}")
+        stats = server.get("/stats")[1]["jobs"]
+        if stats["computations"] != 1:
+            return _fail(
+                f"2 identical submissions ran {stats['computations']} "
+                f"computations (wanted 1 — coalescing broke): {stats}"
+            )
+        puts_after_first = server.get("/stats")[1]["store"]["puts"]
+        print(
+            f"serve_smoke: coalesced OK — 1 computation, "
+            f"{stats['coalesced']} coalesced + {stats['cache_hits']} warm, "
+            f"{puts_after_first} store write(s)"
+        )
+
+        print("serve_smoke: [3/5] third submission must be a warm hit ...")
+        status, third = server.post("/jobs", spec)
+        if (status, third["state"], third["cached"]) != (200, "done", True):
+            return _fail(f"third submission not served warm: {third}")
+        if server.get("/stats")[1]["store"]["puts"] != puts_after_first:
+            return _fail("warm completion wrote to the store")
+
+        print("serve_smoke: [4/5] artifact fetch by store key ...")
+        [(kind, key)] = third["artifacts"]
+        status, body = server.get(f"/artifacts/{kind}/{key}", raw=True)
+        if status != 200 or not body:
+            return _fail(f"artifact fetch: {status}, {len(body)} bytes")
+        print(f"serve_smoke: fetched {kind}/{key[:16]} ({len(body)} bytes)")
+
+        print("serve_smoke: [5/5] SIGTERM drain ...")
+        code = server.terminate()
+        if code != 0:
+            return _fail(f"drained server exited {code}, wanted 0")
+    finally:
+        server.kill()
+
+    revived = Server(store, workdir / "ready2.json", resume=True)
+    try:
+        stats = revived.get("/stats")[1]["jobs"]
+        if stats["resumed"] != 3:
+            return _fail(f"resume restored {stats['resumed']} jobs, not 3")
+        status, jobs = revived.get("/jobs")
+        if any(r["state"] != "done" for r in jobs["jobs"]):
+            return _fail(f"resumed jobs not all done: {jobs}")
+        code = revived.terminate()
+        if code != 0:
+            return _fail(f"resumed server exited {code}, wanted 0")
+    finally:
+        revived.kill()
+
+    print("serve_smoke: OK — boots, coalesces, serves warm, drains, resumes")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", type=pathlib.Path, default=None,
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="figure-job scale (default: 0.1)",
+    )
+    args = parser.parse_args(argv)
+    if args.workdir is not None:
+        args.workdir.mkdir(parents=True, exist_ok=True)
+        return serve_smoke(args.workdir, args.scale)
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        return serve_smoke(pathlib.Path(tmp), args.scale)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
