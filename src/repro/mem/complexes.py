@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import numpy as np
+
 from repro.config import MachineConfig
 from repro.errors import ConfigError, SimulationError
 from repro.mem.directory import DistributedDirectory
@@ -65,6 +67,26 @@ class ComplexHierarchy(MemoryHierarchy):
         self._domain_socket = list(topo.domain_socket)
         self._hop_extra = topo.hop_extra_table()
         self._l3_lat = slice_config.latency_cycles
+
+    def _kernel_params(self) -> dict:
+        """Kernel parameters in this backend's own domain generality.
+
+        Unlike the flat backends' socket view, every kernel axis is live
+        here: per-complex L3 slices as separate tag rows, the full
+        three-class hop table, and address-interleaved directory homes
+        (``home = line % num_homes``).
+        """
+        homes = self.directory.homes
+        return {
+            "domain_of": np.asarray(self._domain_of, dtype=np.int64),
+            "domain_socket": np.asarray(self._domain_socket, dtype=np.int64),
+            "domain_mask": np.asarray(self._domain_mask, dtype=np.int64),
+            "hop_extra": np.asarray(self._hop_extra, dtype=np.int64),
+            "l3_lat": self._l3_lat,
+            "num_homes": self.directory.num_homes,
+            "home_stats": tuple(home._stats for home in homes),
+            "home_route": lambda line: homes[line % len(homes)],
+        }
 
     # ------------------------------------------------------------------
     # Helpers (domain-generalized twins of the base class's)
@@ -144,6 +166,8 @@ class ComplexHierarchy(MemoryHierarchy):
         """
         if mlp < 1.0:
             raise SimulationError(f"mlp must be >= 1, got {mlp}")
+        if self._kernel_fns is not None:
+            return self._kernel_access_block(core, lines, writes, mlp)
         socket = self._socket_of[core]
         domain = self._domain_of[core]
         domain_of = self._domain_of
@@ -151,6 +175,7 @@ class ComplexHierarchy(MemoryHierarchy):
         l1 = self.l1d[core]
         l2 = self.l2[core]
         l3 = self.l3[domain]
+        l1_stats, l2_stats, l3_stats = l1.stats, l2.stats, l3.stats
         l1_sets, l1_mask, l1_assoc = l1._sets, l1._set_mask, l1._assoc
         l2_sets, l2_mask, l2_assoc = l2._sets, l2._set_mask, l2._assoc
         l3_sets, l3_mask, l3_assoc = l3._sets, l3._set_mask, l3._assoc
@@ -221,30 +246,30 @@ class ComplexHierarchy(MemoryHierarchy):
             s = l1_sets[line & l1_mask]
             if s.pop(line, miss) is not miss:
                 s[line] = None  # promote to MRU
-                l1.stats.hits += 1
+                l1_stats.hits += 1
                 if w and extra:
                     stall += extra * _STORE_STALL_FRACTION
                 continue
-            l1.stats.misses += 1
+            l1_stats.misses += 1
             l1d_misses += 1
 
             # L2 probe.
             s2 = l2_sets[line & l2_mask]
             if s2.pop(line, miss) is not miss:
                 s2[line] = None
-                l2.stats.hits += 1
+                l2_stats.hits += 1
                 extra += l2_lat
             else:
-                l2.stats.misses += 1
+                l2_stats.misses += 1
                 l2_misses += 1
                 # L3-slice probe (my complex's slice only).
                 s3 = l3_sets[line & l3_mask]
                 if s3.pop(line, miss) is not miss:
                     s3[line] = None
-                    l3.stats.hits += 1
+                    l3_stats.hits += 1
                     extra += l3_lat
                 else:
-                    l3.stats.misses += 1
+                    l3_stats.misses += 1
                     owner = dir_owner.get(line, -1)
                     if owner >= 0 and owner != core:
                         # Dirty in another private hierarchy: cache-to-cache
@@ -277,14 +302,14 @@ class ComplexHierarchy(MemoryHierarchy):
                 if len(s2) >= l2_assoc:
                     old = next(iter(s2))
                     del s2[old]
-                    l2.stats.evictions += 1
+                    l2_stats.evictions += 1
                 s2[line] = None
 
             # Fill L1.
             if len(s) >= l1_assoc:
                 old = next(iter(s))
                 del s[old]
-                l1.stats.evictions += 1
+                l1_stats.evictions += 1
             s[line] = None
 
             if not w:

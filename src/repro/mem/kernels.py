@@ -1,0 +1,1029 @@
+"""Flat-array kernel tier for the cache-hierarchy hot path.
+
+:func:`hier_access_block_py` is the per-access probe/fill/invalidate loop
+of ``MemoryHierarchy.access_block`` — generalized, like the ``complex``
+backend, from sockets to topology *domains* — as one pure function over
+flat numpy arrays, with an ``@njit(cache=True)`` twin compiled through
+:mod:`repro.util.jit`.  All four hierarchy backends route through it:
+
+* flat backends (inclusive / non-inclusive / prefetch-nl) pass the socket
+  view — domains are sockets, the hop table is 0 on the diagonal and
+  ``remote_socket_extra_cycles`` off it — which provably reduces to the
+  dict implementation's local/remote arithmetic;
+* the ``complex`` backend passes its domain arrays, per-complex L3-slice
+  geometry, fabric hop table and directory home count.
+
+State layout: each cache level is an int64 tag matrix of shape
+``(instances, num_sets * assoc)``; within a set's segment, occupied slots
+are packed left, index 0 the LRU way — exactly the iteration order of the
+dict engines' insertion-ordered sets, so LRU victims and promotions are
+bit-identical.  The directory is an open-addressing hash over three
+int64 arrays (line, M-owner, sharer bitmask); entries are never deleted,
+only zeroed (absent ≡ owner −1 and empty mask), so lookups need no
+tombstones and growth is a rehash that drops inert entries.  Statistics
+accumulate in flat delta arrays, flushed lazily into the existing counter
+objects at ``snapshot()`` / materialization — the kernels never touch a
+Python object.
+
+The sharer bitmask lives in one int64, so the kernel tier engages only
+for machines with at most 62 cores (every registry machine; larger ones
+fall back to the dict engines automatically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import jit
+
+#: Free-slot sentinel (int64 min; not a representable cache line).
+_EMPTY = -(1 << 63)
+
+#: Knuth multiplicative hash constant; the product is masked to the
+#: table's low bits immediately, so Python's arbitrary-precision multiply
+#: and numba's wrapping int64 multiply agree bit-for-bit.
+_HASH_K = 2654435761
+
+#: Widest sharer bitmask an int64 holds without sign trouble.
+MAX_KERNEL_CORES = 62
+
+_SBF = 0.3  # _STORE_STALL_FRACTION (kept in sync with mem.hierarchy)
+
+# Global-counter delta indices.
+(_C_LOADS, _C_STORES, _C_L1D_MISS, _C_L2_MISS, _C_C2C, _C_WB,
+ _C_INTRA, _C_XCOMPLEX, _C_XSOCKET, _C_PREFETCH) = range(10)
+# Per-cache stats columns (CacheStats field order).
+_S_HIT, _S_MISS, _S_EVIC, _S_DEVIC, _S_INVAL = range(5)
+# Per-home directory stats columns (DirectoryStats field order).
+_D_INVALS, _D_DOWN, _D_C2C = range(3)
+
+
+def hier_access_block_py(
+    lines, writes, core, mlp,
+    l1_tags, l2_tags, l3_tags,
+    l1_mask, l1_assoc, l2_mask, l2_assoc, l3_mask, l3_assoc,
+    domain_of, domain_socket, domain_mask, hop_extra,
+    dir_keys, dir_owner, dir_sharers, dir_meta,
+    num_homes, l2_lat, l3_lat, dram_lat, inclusive, pf_degree,
+    counts, l1_stats, l2_stats, l3_stats, home_stats,
+    dram_reads, dram_wbs,
+):
+    """One block's reference stream through the full hierarchy.
+
+    The flat-array twin of ``MemoryHierarchy.access_block`` /
+    ``ComplexHierarchy.access_block``; see the module docstring for the
+    state layout.  The caller guarantees spare directory capacity for
+    ``len(lines) * (1 + pf_degree)`` inserts.
+
+    Args:
+        lines: int64[n] line addresses.
+        writes: bool[n] write flags.
+        core: Issuing core index.
+        mlp: Memory-level parallelism divisor (>= 1).
+        l1_tags: int64[cores, l1_sets * l1_assoc] private L1D tags.
+        l2_tags: int64[cores, l2_sets * l2_assoc] private L2 tags.
+        l3_tags: int64[domains, l3_sets * l3_assoc] shared L3 tags.
+        l1_mask: L1 set mask (``num_sets - 1``); likewise ``l2_mask`` /
+            ``l3_mask``.
+        l1_assoc: L1 associativity; likewise ``l2_assoc`` / ``l3_assoc``.
+        domain_of: int64[cores] topology domain per core.
+        domain_socket: int64[domains] socket per domain.
+        domain_mask: int64[domains] core bitmask per domain.
+        hop_extra: int64[domains, domains] extra cycles per domain hop.
+        dir_keys: int64[cap] directory hash keys (``_EMPTY`` free).
+        dir_owner: int64[cap] M-state owner per entry (-1 none).
+        dir_sharers: int64[cap] sharer bitmask per entry.
+        dir_meta: int64[1]: occupied-entry count.
+        num_homes: Directory home-node count (1 for flat backends).
+        l2_lat: L2 hit latency; ``l3_lat`` / ``dram_lat`` likewise.
+        inclusive: 1 when L3 evictions back-invalidate private caches.
+        pf_degree: Next-line prefetch depth (0 disables).
+        counts: int64[10] global-counter deltas.
+        l1_stats: int64[cores, 5] per-L1D stat deltas; ``l2_stats`` /
+            ``l3_stats`` likewise (L3 rows are per domain).
+        home_stats: int64[homes, 3] per-home directory stat deltas.
+        dram_reads: int64[sockets] DRAM fill deltas.
+        dram_wbs: int64[sockets] DRAM writeback deltas.
+
+    Returns:
+        Stall cycles (beyond-L1 latency sum / ``mlp``), bit-identical to
+        the dict engines.
+    """
+    my_domain = domain_of[core]
+    my_socket = domain_socket[my_domain]
+    my_bit = 1 << core
+    num_domains = l3_tags.shape[0]
+    dmask = dir_keys.shape[0] - 1
+    l1_row = l1_tags[core]
+    l2_row = l2_tags[core]
+    l3_row = l3_tags[my_domain]
+    stall = 0.0
+    for i in range(lines.shape[0]):
+        line = lines[i]
+        w = writes[i]
+        extra = 0
+        home = line % num_homes
+        if w:
+            counts[_C_STORES] += 1
+            # Directory slot (insert when absent: the store writes it).
+            h = (line * _HASH_K) & dmask
+            while True:
+                k = dir_keys[h]
+                if k == line:
+                    break
+                if k == _EMPTY:
+                    dir_keys[h] = line
+                    dir_owner[h] = -1
+                    dir_sharers[h] = 0
+                    dir_meta[0] += 1
+                    break
+                h = (h + 1) & dmask
+            slot = h
+            prev_owner = dir_owner[slot]
+            if prev_owner != core:
+                mask = dir_sharers[slot] & ~my_bit
+                if mask != 0 or prev_owner >= 0:
+                    worst_hop = 0
+                    if mask != 0:
+                        m = mask
+                        sent = 0
+                        while m != 0:
+                            low = m & (-m)
+                            m ^= low
+                            c = 0
+                            v = low >> 1
+                            while v != 0:
+                                c += 1
+                                v >>= 1
+                            # Purge line from core c's L1D and L2.
+                            row = l1_tags[c]
+                            base = (line & l1_mask) * l1_assoc
+                            j = 0
+                            found = -1
+                            while j < l1_assoc:
+                                t = row[base + j]
+                                if t == line:
+                                    found = j
+                                    break
+                                if t == _EMPTY:
+                                    break
+                                j += 1
+                            if found >= 0:
+                                j = found
+                                while j + 1 < l1_assoc:
+                                    nt = row[base + j + 1]
+                                    if nt == _EMPTY:
+                                        break
+                                    row[base + j] = nt
+                                    j += 1
+                                row[base + j] = _EMPTY
+                                l1_stats[c, _S_INVAL] += 1
+                            row = l2_tags[c]
+                            base = (line & l2_mask) * l2_assoc
+                            j = 0
+                            found = -1
+                            while j < l2_assoc:
+                                t = row[base + j]
+                                if t == line:
+                                    found = j
+                                    break
+                                if t == _EMPTY:
+                                    break
+                                j += 1
+                            if found >= 0:
+                                j = found
+                                while j + 1 < l2_assoc:
+                                    nt = row[base + j + 1]
+                                    if nt == _EMPTY:
+                                        break
+                                    row[base + j] = nt
+                                    j += 1
+                                row[base + j] = _EMPTY
+                                l2_stats[c, _S_INVAL] += 1
+                            hop = hop_extra[my_domain, domain_of[c]]
+                            if hop > worst_hop:
+                                worst_hop = hop
+                            sent += 1
+                        home_stats[home, _D_INVALS] += sent
+                    if prev_owner >= 0:
+                        # Remote M copy: transfer + writeback on downgrade.
+                        prev_domain = domain_of[prev_owner]
+                        dram_wbs[domain_socket[prev_domain]] += 1
+                        counts[_C_WB] += 1
+                        hop = hop_extra[my_domain, prev_domain]
+                        if hop > worst_hop:
+                            worst_hop = hop
+                        counts[_C_C2C] += 1
+                        if prev_domain == my_domain:
+                            counts[_C_INTRA] += 1
+                        elif domain_socket[prev_domain] == my_socket:
+                            counts[_C_XCOMPLEX] += 1
+                        else:
+                            counts[_C_XSOCKET] += 1
+                    if num_domains > 1:
+                        for d in range(num_domains):
+                            if d == my_domain:
+                                continue
+                            row = l3_tags[d]
+                            base = (line & l3_mask) * l3_assoc
+                            j = 0
+                            found = -1
+                            while j < l3_assoc:
+                                t = row[base + j]
+                                if t == line:
+                                    found = j
+                                    break
+                                if t == _EMPTY:
+                                    break
+                                j += 1
+                            if found >= 0:
+                                j = found
+                                while j + 1 < l3_assoc:
+                                    nt = row[base + j + 1]
+                                    if nt == _EMPTY:
+                                        break
+                                    row[base + j] = nt
+                                    j += 1
+                                row[base + j] = _EMPTY
+                                l3_stats[d, _S_INVAL] += 1
+                    extra = l3_lat + worst_hop
+                dir_sharers[slot] = my_bit
+                dir_owner[slot] = core
+        else:
+            counts[_C_LOADS] += 1
+
+        # L1D probe (hit promotes to MRU: shift left, append at tail).
+        base1 = (line & l1_mask) * l1_assoc
+        hit = False
+        j = 0
+        while j < l1_assoc:
+            t = l1_row[base1 + j]
+            if t == line:
+                jj = j
+                while jj + 1 < l1_assoc:
+                    nt = l1_row[base1 + jj + 1]
+                    if nt == _EMPTY:
+                        break
+                    l1_row[base1 + jj] = nt
+                    jj += 1
+                l1_row[base1 + jj] = line
+                hit = True
+                break
+            if t == _EMPTY:
+                break
+            j += 1
+        if hit:
+            l1_stats[core, _S_HIT] += 1
+            if w and extra != 0:
+                stall += extra * _SBF
+            continue
+        l1_stats[core, _S_MISS] += 1
+        counts[_C_L1D_MISS] += 1
+
+        # L2 probe.
+        base2 = (line & l2_mask) * l2_assoc
+        hit = False
+        j = 0
+        while j < l2_assoc:
+            t = l2_row[base2 + j]
+            if t == line:
+                jj = j
+                while jj + 1 < l2_assoc:
+                    nt = l2_row[base2 + jj + 1]
+                    if nt == _EMPTY:
+                        break
+                    l2_row[base2 + jj] = nt
+                    jj += 1
+                l2_row[base2 + jj] = line
+                hit = True
+                break
+            if t == _EMPTY:
+                break
+            j += 1
+        if hit:
+            l2_stats[core, _S_HIT] += 1
+            extra += l2_lat
+        else:
+            l2_stats[core, _S_MISS] += 1
+            counts[_C_L2_MISS] += 1
+            # L3 probe (my domain's shared cache / slice).
+            base3 = (line & l3_mask) * l3_assoc
+            hit = False
+            j = 0
+            while j < l3_assoc:
+                t = l3_row[base3 + j]
+                if t == line:
+                    jj = j
+                    while jj + 1 < l3_assoc:
+                        nt = l3_row[base3 + jj + 1]
+                        if nt == _EMPTY:
+                            break
+                        l3_row[base3 + jj] = nt
+                        jj += 1
+                    l3_row[base3 + jj] = line
+                    hit = True
+                    break
+                if t == _EMPTY:
+                    break
+                j += 1
+            if hit:
+                l3_stats[my_domain, _S_HIT] += 1
+                extra += l3_lat
+            else:
+                l3_stats[my_domain, _S_MISS] += 1
+                # Directory owner lookup (read-only).
+                h = (line * _HASH_K) & dmask
+                slot = -1
+                while True:
+                    k = dir_keys[h]
+                    if k == line:
+                        slot = h
+                        break
+                    if k == _EMPTY:
+                        break
+                    h = (h + 1) & dmask
+                owner = -1
+                if slot >= 0:
+                    owner = dir_owner[slot]
+                if owner >= 0 and owner != core:
+                    # Dirty in a remote private hierarchy: cache-to-cache
+                    # transfer plus MSI downgrade writeback.
+                    owner_domain = domain_of[owner]
+                    if owner_domain == my_domain:
+                        extra += l3_lat + l2_lat
+                        counts[_C_INTRA] += 1
+                    else:
+                        extra += l3_lat + hop_extra[my_domain, owner_domain]
+                        if domain_socket[owner_domain] == my_socket:
+                            counts[_C_XCOMPLEX] += 1
+                        else:
+                            counts[_C_XSOCKET] += 1
+                    if not w:
+                        dir_owner[slot] = -1
+                        home_stats[home, _D_DOWN] += 1
+                        dram_wbs[domain_socket[owner_domain]] += 1
+                        counts[_C_WB] += 1
+                    home_stats[home, _D_C2C] += 1
+                    counts[_C_C2C] += 1
+                else:
+                    extra += dram_lat
+                    dram_reads[my_socket] += 1
+                # Fill L3, handling the victim per backend (inclusive
+                # back-invalidation vs non-inclusive silent drop).
+                j = 0
+                while j < l3_assoc and l3_row[base3 + j] != _EMPTY:
+                    j += 1
+                if j >= l3_assoc:
+                    vline = l3_row[base3]
+                    for jj in range(l3_assoc - 1):
+                        l3_row[base3 + jj] = l3_row[base3 + jj + 1]
+                    l3_row[base3 + l3_assoc - 1] = line
+                    l3_stats[my_domain, _S_EVIC] += 1
+                    if inclusive != 0:
+                        hh = (vline * _HASH_K) & dmask
+                        vslot = -1
+                        while True:
+                            k = dir_keys[hh]
+                            if k == vline:
+                                vslot = hh
+                                break
+                            if k == _EMPTY:
+                                break
+                            hh = (hh + 1) & dmask
+                        if vslot >= 0:
+                            vowner = dir_owner[vslot]
+                            if vowner >= 0 and domain_of[vowner] == my_domain:
+                                dram_wbs[my_socket] += 1
+                                counts[_C_WB] += 1
+                                dir_owner[vslot] = -1
+                            vmask = dir_sharers[vslot]
+                            if vmask != 0:
+                                local = vmask & domain_mask[my_domain]
+                                while local != 0:
+                                    low = local & (-local)
+                                    local ^= low
+                                    c = 0
+                                    v = low >> 1
+                                    while v != 0:
+                                        c += 1
+                                        v >>= 1
+                                    row = l1_tags[c]
+                                    base = (vline & l1_mask) * l1_assoc
+                                    j = 0
+                                    found = -1
+                                    while j < l1_assoc:
+                                        t = row[base + j]
+                                        if t == vline:
+                                            found = j
+                                            break
+                                        if t == _EMPTY:
+                                            break
+                                        j += 1
+                                    if found >= 0:
+                                        j = found
+                                        while j + 1 < l1_assoc:
+                                            nt = row[base + j + 1]
+                                            if nt == _EMPTY:
+                                                break
+                                            row[base + j] = nt
+                                            j += 1
+                                        row[base + j] = _EMPTY
+                                        l1_stats[c, _S_INVAL] += 1
+                                    row = l2_tags[c]
+                                    base = (vline & l2_mask) * l2_assoc
+                                    j = 0
+                                    found = -1
+                                    while j < l2_assoc:
+                                        t = row[base + j]
+                                        if t == vline:
+                                            found = j
+                                            break
+                                        if t == _EMPTY:
+                                            break
+                                        j += 1
+                                    if found >= 0:
+                                        j = found
+                                        while j + 1 < l2_assoc:
+                                            nt = row[base + j + 1]
+                                            if nt == _EMPTY:
+                                                break
+                                            row[base + j] = nt
+                                            j += 1
+                                        row[base + j] = _EMPTY
+                                        l2_stats[c, _S_INVAL] += 1
+                                dir_sharers[vslot] = (
+                                    vmask & ~domain_mask[my_domain]
+                                )
+                else:
+                    l3_row[base3 + j] = line
+            # Fill L2.
+            j = 0
+            while j < l2_assoc and l2_row[base2 + j] != _EMPTY:
+                j += 1
+            if j >= l2_assoc:
+                for jj in range(l2_assoc - 1):
+                    l2_row[base2 + jj] = l2_row[base2 + jj + 1]
+                l2_row[base2 + l2_assoc - 1] = line
+                l2_stats[core, _S_EVIC] += 1
+            else:
+                l2_row[base2 + j] = line
+            if pf_degree > 0:
+                # Tagged next-line prefetch into L2 + L3 (flat-backend
+                # semantics: domains are sockets here).
+                issued = 0
+                for delta in range(1, pf_degree + 1):
+                    pline = line + delta
+                    pbase2 = (pline & l2_mask) * l2_assoc
+                    resident = False
+                    j = 0
+                    while j < l2_assoc:
+                        t = l2_row[pbase2 + j]
+                        if t == pline:
+                            resident = True
+                            break
+                        if t == _EMPTY:
+                            break
+                        j += 1
+                    if resident:
+                        continue  # tagged prefetchers stay quiet
+                    hh = (pline * _HASH_K) & dmask
+                    pslot = -1
+                    while True:
+                        k = dir_keys[hh]
+                        if k == pline:
+                            pslot = hh
+                            break
+                        if k == _EMPTY:
+                            break
+                        hh = (hh + 1) & dmask
+                    powner = -1
+                    if pslot >= 0:
+                        powner = dir_owner[pslot]
+                    if powner >= 0 and powner != core:
+                        continue  # never speculate coherence traffic
+                    pbase3 = (pline & l3_mask) * l3_assoc
+                    in_l3 = False
+                    j = 0
+                    while j < l3_assoc:
+                        t = l3_row[pbase3 + j]
+                        if t == pline:
+                            in_l3 = True
+                            break
+                        if t == _EMPTY:
+                            break
+                        j += 1
+                    if not in_l3:
+                        dram_reads[my_socket] += 1
+                        j = 0
+                        while (j < l3_assoc
+                               and l3_row[pbase3 + j] != _EMPTY):
+                            j += 1
+                        if j >= l3_assoc:
+                            vline = l3_row[pbase3]
+                            for jj in range(l3_assoc - 1):
+                                l3_row[pbase3 + jj] = (
+                                    l3_row[pbase3 + jj + 1]
+                                )
+                            l3_row[pbase3 + l3_assoc - 1] = pline
+                            l3_stats[my_domain, _S_EVIC] += 1
+                            if inclusive != 0:
+                                hh = (vline * _HASH_K) & dmask
+                                vslot = -1
+                                while True:
+                                    k = dir_keys[hh]
+                                    if k == vline:
+                                        vslot = hh
+                                        break
+                                    if k == _EMPTY:
+                                        break
+                                    hh = (hh + 1) & dmask
+                                if vslot >= 0:
+                                    vowner = dir_owner[vslot]
+                                    if (vowner >= 0 and
+                                            domain_of[vowner]
+                                            == my_domain):
+                                        dram_wbs[my_socket] += 1
+                                        counts[_C_WB] += 1
+                                        dir_owner[vslot] = -1
+                                    vmask = dir_sharers[vslot]
+                                    if vmask != 0:
+                                        local = (
+                                            vmask
+                                            & domain_mask[my_domain]
+                                        )
+                                        while local != 0:
+                                            low = local & (-local)
+                                            local ^= low
+                                            c = 0
+                                            v = low >> 1
+                                            while v != 0:
+                                                c += 1
+                                                v >>= 1
+                                            row = l1_tags[c]
+                                            base = ((vline & l1_mask)
+                                                    * l1_assoc)
+                                            j = 0
+                                            found = -1
+                                            while j < l1_assoc:
+                                                t = row[base + j]
+                                                if t == vline:
+                                                    found = j
+                                                    break
+                                                if t == _EMPTY:
+                                                    break
+                                                j += 1
+                                            if found >= 0:
+                                                j = found
+                                                while j + 1 < l1_assoc:
+                                                    nt = row[base + j + 1]
+                                                    if nt == _EMPTY:
+                                                        break
+                                                    row[base + j] = nt
+                                                    j += 1
+                                                row[base + j] = _EMPTY
+                                                l1_stats[c, _S_INVAL] += 1
+                                            row = l2_tags[c]
+                                            base = ((vline & l2_mask)
+                                                    * l2_assoc)
+                                            j = 0
+                                            found = -1
+                                            while j < l2_assoc:
+                                                t = row[base + j]
+                                                if t == vline:
+                                                    found = j
+                                                    break
+                                                if t == _EMPTY:
+                                                    break
+                                                j += 1
+                                            if found >= 0:
+                                                j = found
+                                                while j + 1 < l2_assoc:
+                                                    nt = row[base + j + 1]
+                                                    if nt == _EMPTY:
+                                                        break
+                                                    row[base + j] = nt
+                                                    j += 1
+                                                row[base + j] = _EMPTY
+                                                l2_stats[c, _S_INVAL] += 1
+                                        dir_sharers[vslot] = (
+                                            vmask
+                                            & ~domain_mask[my_domain]
+                                        )
+                        else:
+                            l3_row[pbase3 + j] = pline
+                    # Fill L2 with the prefetched line.
+                    j = 0
+                    while j < l2_assoc and l2_row[pbase2 + j] != _EMPTY:
+                        j += 1
+                    if j >= l2_assoc:
+                        for jj in range(l2_assoc - 1):
+                            l2_row[pbase2 + jj] = l2_row[pbase2 + jj + 1]
+                        l2_row[pbase2 + l2_assoc - 1] = pline
+                        l2_stats[core, _S_EVIC] += 1
+                    else:
+                        l2_row[pbase2 + j] = pline
+                    # Record the prefetcher as a sharer (insert).
+                    hh = (pline * _HASH_K) & dmask
+                    while True:
+                        k = dir_keys[hh]
+                        if k == pline:
+                            break
+                        if k == _EMPTY:
+                            dir_keys[hh] = pline
+                            dir_owner[hh] = -1
+                            dir_sharers[hh] = 0
+                            dir_meta[0] += 1
+                            break
+                        hh = (hh + 1) & dmask
+                    dir_sharers[hh] |= my_bit
+                    issued += 1
+                counts[_C_PREFETCH] += issued
+
+        # Fill L1 (miss path only).
+        j = 0
+        while j < l1_assoc and l1_row[base1 + j] != _EMPTY:
+            j += 1
+        if j >= l1_assoc:
+            for jj in range(l1_assoc - 1):
+                l1_row[base1 + jj] = l1_row[base1 + jj + 1]
+            l1_row[base1 + l1_assoc - 1] = line
+            l1_stats[core, _S_EVIC] += 1
+        else:
+            l1_row[base1 + j] = line
+
+        if not w:
+            # Load bookkeeping: become a sharer, downgrade a remote owner.
+            h = (line * _HASH_K) & dmask
+            while True:
+                k = dir_keys[h]
+                if k == line:
+                    break
+                if k == _EMPTY:
+                    dir_keys[h] = line
+                    dir_owner[h] = -1
+                    dir_sharers[h] = 0
+                    dir_meta[0] += 1
+                    break
+                h = (h + 1) & dmask
+            dir_sharers[h] |= my_bit
+            prev_owner = dir_owner[h]
+            if prev_owner >= 0 and prev_owner != core:
+                dir_owner[h] = -1
+                home_stats[home, _D_DOWN] += 1
+            stall += extra
+        else:
+            stall += extra * _SBF
+    return stall / mlp
+
+
+def dir_rehash_py(old_keys, old_owner, old_sharers, keys, owner, sharers):
+    """Rehash live directory entries into a fresh (larger) table.
+
+    Inert entries (no owner, empty mask — semantically absent) are
+    dropped, which is what keeps the no-deletion table from growing
+    without bound.
+
+    Args:
+        old_keys: int64[old_cap] source keys (``_EMPTY`` free).
+        old_owner: int64[old_cap] source owners.
+        old_sharers: int64[old_cap] source sharer masks.
+        keys: int64[cap] destination keys, pre-filled with ``_EMPTY``.
+        owner: int64[cap] destination owners.
+        sharers: int64[cap] destination sharer masks.
+
+    Returns:
+        The number of live entries carried over.
+    """
+    mask = keys.shape[0] - 1
+    cnt = 0
+    for i in range(old_keys.shape[0]):
+        line = old_keys[i]
+        if line == _EMPTY:
+            continue
+        ow = old_owner[i]
+        sh = old_sharers[i]
+        if ow < 0 and sh == 0:
+            continue
+        h = (line * _HASH_K) & mask
+        while keys[h] != _EMPTY:
+            h = (h + 1) & mask
+        keys[h] = line
+        owner[h] = ow
+        sharers[h] = sh
+        cnt += 1
+    return cnt
+
+
+class HierarchyKernels:
+    """One tier's callable pair for the hierarchy kernels."""
+
+    __slots__ = ("tier", "access_block", "dir_rehash")
+
+    def __init__(self, tier, access_block, dir_rehash) -> None:
+        self.tier = tier
+        self.access_block = access_block
+        self.dir_rehash = dir_rehash
+
+
+_PY_BUNDLE = HierarchyKernels("kernel-py", hier_access_block_py, dir_rehash_py)
+
+_NB_BUNDLE: HierarchyKernels | None = None
+
+
+def _nb_bundle() -> HierarchyKernels:  # pragma: no cover - numba CI leg
+    """Compile (once) and return the ``nb`` twins."""
+    global _NB_BUNDLE
+    if _NB_BUNDLE is None:
+        _NB_BUNDLE = HierarchyKernels(
+            "nb",
+            jit.compile_kernel(hier_access_block_py),
+            jit.compile_kernel(dir_rehash_py),
+        )
+    return _NB_BUNDLE
+
+
+def kernel_bundle() -> HierarchyKernels | None:
+    """The active tier's kernel set, or None when the dict engines run."""
+    tier = jit.kernel_tier()
+    if tier is None:
+        return None
+    if tier == "kernel-py":
+        return _PY_BUNDLE
+    return _nb_bundle()  # pragma: no cover - numba CI leg
+
+
+class HierarchyKernelState:
+    """Flat-array mirror of one hierarchy's mutable simulation state.
+
+    Created lazily on the first kernel-dispatched ``access_block`` call.
+    ``arrays_live`` tracks authority: while True, the flat arrays are
+    ahead of the dict engines' state; :meth:`materialize` flushes stats
+    and rebuilds the dicts (handing authority back), after which the next
+    kernel call re-seeds the arrays from the dicts.  That round-trip
+    keeps *any* interleaving of kernel execution with dict-level
+    inspection or mutation — parity tests read ``resident_lines()`` and
+    directory maps mid-run — exactly consistent.
+    """
+
+    _DIR_MIN_CAP = 1 << 13
+
+    def __init__(self, hier) -> None:
+        self.hier = hier
+        self.fns = hier._kernel_fns
+        params = hier._kernel_params()
+        self.domain_of = params["domain_of"]
+        self.domain_socket = params["domain_socket"]
+        self.domain_mask = params["domain_mask"]
+        self.hop_extra = params["hop_extra"]
+        self.l3_lat = int(params["l3_lat"])
+        self.num_homes = int(params["num_homes"])
+        self.home_stats_objs = params["home_stats"]
+        self.home_route = params["home_route"]
+        l1 = hier.l1d[0]
+        l2 = hier.l2[0]
+        l3 = hier.l3[0]
+        self.l1_mask, self.l1_assoc = l1._set_mask, l1._assoc
+        self.l2_mask, self.l2_assoc = l2._set_mask, l2._assoc
+        self.l3_mask, self.l3_assoc = l3._set_mask, l3._assoc
+        self.l2_lat = l2.config.latency_cycles
+        self.dram_lat = hier.dram.latency_cycles
+        cores = len(hier.l1d)
+        domains = len(hier.l3)
+        sockets = hier._num_sockets
+        self.l1_tags = np.full(
+            (cores, (self.l1_mask + 1) * self.l1_assoc), _EMPTY, np.int64
+        )
+        self.l2_tags = np.full(
+            (cores, (self.l2_mask + 1) * self.l2_assoc), _EMPTY, np.int64
+        )
+        self.l3_tags = np.full(
+            (domains, (self.l3_mask + 1) * self.l3_assoc), _EMPTY, np.int64
+        )
+        self.dir_keys = np.full(self._DIR_MIN_CAP, _EMPTY, np.int64)
+        self.dir_owner = np.full(self._DIR_MIN_CAP, -1, np.int64)
+        self.dir_sharers = np.zeros(self._DIR_MIN_CAP, np.int64)
+        self.dir_meta = np.zeros(1, np.int64)
+        self.counts = np.zeros(10, np.int64)
+        self.l1_stats = np.zeros((cores, 5), np.int64)
+        self.l2_stats = np.zeros((cores, 5), np.int64)
+        self.l3_stats = np.zeros((domains, 5), np.int64)
+        self.home_stats = np.zeros((self.num_homes, 3), np.int64)
+        self.dram_reads = np.zeros(sockets, np.int64)
+        self.dram_wbs = np.zeros(sockets, np.int64)
+        self.arrays_live = False
+
+    # -- dispatch -------------------------------------------------------
+
+    def run(self, core, lines, writes, mlp, pf_degree) -> float:
+        """One kernel-dispatched ``access_block`` call."""
+        if not self.arrays_live:
+            self._seed()
+            self.arrays_live = True
+        self._ensure_dir(int(lines.shape[0]) * (1 + pf_degree))
+        with np.errstate(over="ignore"):  # int64 hash wrap is the design
+            stall = self.fns.access_block(
+                lines, writes, core, float(mlp),
+                self.l1_tags, self.l2_tags, self.l3_tags,
+                self.l1_mask, self.l1_assoc, self.l2_mask, self.l2_assoc,
+                self.l3_mask, self.l3_assoc,
+                self.domain_of, self.domain_socket, self.domain_mask,
+                self.hop_extra,
+                self.dir_keys, self.dir_owner, self.dir_sharers,
+                self.dir_meta,
+                self.num_homes, self.l2_lat, self.l3_lat, self.dram_lat,
+                1 if self.hier.inclusive_l3 else 0, pf_degree,
+                self.counts, self.l1_stats, self.l2_stats, self.l3_stats,
+                self.home_stats, self.dram_reads, self.dram_wbs,
+            )
+        return float(stall)
+
+    def _ensure_dir(self, incoming: int) -> None:
+        """Grow (and prune) the directory hash before it can fill up."""
+        cap = self.dir_keys.shape[0]
+        if (int(self.dir_meta[0]) + incoming) * 4 < cap * 3:
+            return
+        new_cap = cap
+        while (int(self.dir_meta[0]) + incoming) * 4 >= new_cap * 3:
+            new_cap *= 2
+        keys = np.full(new_cap, _EMPTY, np.int64)
+        owner = np.full(new_cap, -1, np.int64)
+        sharers = np.zeros(new_cap, np.int64)
+        with np.errstate(over="ignore"):  # int64 hash wrap is the design
+            live = self.fns.dir_rehash(
+                self.dir_keys, self.dir_owner, self.dir_sharers,
+                keys, owner, sharers,
+            )
+        self.dir_keys = keys
+        self.dir_owner = owner
+        self.dir_sharers = sharers
+        self.dir_meta[0] = live
+
+    # -- dict <-> array state transfer ----------------------------------
+
+    def _levels(self):
+        """(tag matrix, cache list, assoc) triples for the managed levels."""
+        h = self.hier
+        return (
+            (self.l1_tags, h.l1d, self.l1_assoc),
+            (self.l2_tags, h.l2, self.l2_assoc),
+            (self.l3_tags, h.l3, self.l3_assoc),
+        )
+
+    def _dir_insert(self, line: int, ow: int, sh: int) -> None:
+        """Seed-time python-side insert into the directory hash."""
+        mask = self.dir_keys.shape[0] - 1
+        h = (line * _HASH_K) & mask
+        while True:
+            k = self.dir_keys[h]
+            if k == _EMPTY:
+                self.dir_keys[h] = line
+                self.dir_meta[0] += 1
+                break
+            if k == line:
+                break
+            h = (h + 1) & mask
+        if ow >= 0:
+            self.dir_owner[h] = ow
+        if sh:
+            self.dir_sharers[h] = sh
+
+    def _seed(self) -> None:
+        """Load the flat arrays from the current dict-engine state."""
+        for tags, caches, assoc in self._levels():
+            tags.fill(_EMPTY)
+            for idx, cache in enumerate(caches):
+                row = tags[idx]
+                for si, s in enumerate(cache._sets):
+                    base = si * assoc
+                    for j, ln in enumerate(s):
+                        row[base + j] = ln
+        self.dir_keys.fill(_EMPTY)
+        self.dir_owner.fill(-1)
+        self.dir_sharers.fill(0)
+        self.dir_meta[0] = 0
+        entries: dict[int, list[int]] = {}
+        for d in self.hier._kernel_directories():
+            for line, sh in d._sharers_map.items():
+                entries.setdefault(line, [-1, 0])[1] = sh
+            for line, ow in d._owner_map.items():
+                entries.setdefault(line, [-1, 0])[0] = ow
+        self._ensure_dir(len(entries))
+        for line, (ow, sh) in entries.items():
+            self._dir_insert(line, ow, sh)
+
+    def flush_stats(self) -> None:
+        """Fold the delta arrays into the dict engines' counter objects."""
+        h = self.hier
+        c = self.counts
+        if c.any():
+            h._loads += int(c[_C_LOADS])
+            h._stores += int(c[_C_STORES])
+            h._l1d_misses += int(c[_C_L1D_MISS])
+            h._l2_misses += int(c[_C_L2_MISS])
+            h._c2c += int(c[_C_C2C])
+            h._writebacks += int(c[_C_WB])
+            h._intra_c2c += int(c[_C_INTRA])
+            h._xcomplex_c2c += int(c[_C_XCOMPLEX])
+            h._xsocket_c2c += int(c[_C_XSOCKET])
+            h._prefetches += int(c[_C_PREFETCH])
+            c.fill(0)
+        for arr, caches in (
+            (self.l1_stats, h.l1d), (self.l2_stats, h.l2),
+            (self.l3_stats, h.l3),
+        ):
+            if not arr.any():
+                continue
+            for idx, cache in enumerate(caches):
+                row = arr[idx]
+                st = cache._stats
+                st.hits += int(row[_S_HIT])
+                st.misses += int(row[_S_MISS])
+                st.evictions += int(row[_S_EVIC])
+                st.dirty_evictions += int(row[_S_DEVIC])
+                st.invalidations += int(row[_S_INVAL])
+            arr.fill(0)
+        if self.home_stats.any():
+            for idx, st in enumerate(self.home_stats_objs):
+                row = self.home_stats[idx]
+                st.invalidations_sent += int(row[_D_INVALS])
+                st.downgrades += int(row[_D_DOWN])
+                st.cache_to_cache += int(row[_D_C2C])
+            self.home_stats.fill(0)
+        if self.dram_reads.any() or self.dram_wbs.any():
+            for s in range(self.dram_reads.shape[0]):
+                h._dram_reads[s] += int(self.dram_reads[s])
+                h._dram_wbs[s] += int(self.dram_wbs[s])
+            self.dram_reads.fill(0)
+            self.dram_wbs.fill(0)
+
+    def materialize(self) -> None:
+        """Flush stats and rebuild the dict-engine state from the arrays.
+
+        Idempotent; a no-op while the dicts already hold authority.
+        """
+        if not self.arrays_live:
+            return
+        self.flush_stats()
+        for tags, caches, assoc in self._levels():
+            for idx, cache in enumerate(caches):
+                row = tags[idx]
+                for si, s in enumerate(cache._sets):
+                    s.clear()
+                    base = si * assoc
+                    for j in range(assoc):
+                        t = row[base + j]
+                        if t == _EMPTY:
+                            break
+                        s[int(t)] = None
+        for d in self.hier._kernel_directories():
+            d._sharers_map.clear()
+            d._owner_map.clear()
+        for i in np.flatnonzero(self.dir_keys != _EMPTY).tolist():
+            line = int(self.dir_keys[i])
+            ow = int(self.dir_owner[i])
+            sh = int(self.dir_sharers[i])
+            home = self.home_route(line)
+            if sh:
+                home._sharers_map[line] = sh
+            if ow >= 0:
+                home._owner_map[line] = ow
+        self.arrays_live = False
+
+    def reset(self) -> None:
+        """Cold-start twin of ``flush_all``: drop contents, keep counters."""
+        self.flush_stats()
+        self.l1_tags.fill(_EMPTY)
+        self.l2_tags.fill(_EMPTY)
+        self.l3_tags.fill(_EMPTY)
+        self.dir_keys.fill(_EMPTY)
+        self.dir_owner.fill(-1)
+        self.dir_sharers.fill(0)
+        self.dir_meta[0] = 0
+        self.arrays_live = False
+
+
+def warm() -> list[str]:
+    """Run the hierarchy kernel once on a tiny machine (compile warmup).
+
+    Returns:
+        Warmed kernel-group names (empty when no kernel tier is active).
+    """
+    if kernel_bundle() is None:
+        return []
+    from repro.config import CacheConfig, CoreConfig, MachineConfig
+    from repro.mem.backends import HIERARCHY_BACKENDS
+
+    machine = MachineConfig(
+        name="jit-warm", num_sockets=2, cores_per_socket=2,
+        core=CoreConfig(),
+        l1i=CacheConfig(4 * 256, 4, 4), l1d=CacheConfig(4 * 256, 4, 4),
+        l2=CacheConfig(8 * 256, 4, 8), l3=CacheConfig(16 * 256, 4, 30),
+    )
+    lines = np.array([1, 2, 3, 1, 65, 129, 2], dtype=np.int64)
+    writes = np.array([0, 1, 0, 1, 0, 1, 0], dtype=np.bool_)
+    for factory in HIERARCHY_BACKENDS.values():
+        hier = factory(machine)
+        for core in (0, 3):
+            hier.access_block(core, lines, writes, mlp=1.0)
+        hier.snapshot()
+    return ["mem.hierarchy"]

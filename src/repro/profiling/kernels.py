@@ -1,0 +1,524 @@
+"""Flat-array kernel tier for the profiling hot loops.
+
+Two pure-function kernels (``*_py``), each with an ``@njit(cache=True)``
+twin compiled lazily through :mod:`repro.util.jit`:
+
+* :func:`stackdist_observe_py` — the Olken exact-stack-distance loop over
+  flat arrays: an open-addressing hash (line → last-access time) plus a
+  Fenwick tree laid out in one int64 array.  Distances are bit-identical
+  to :class:`~repro.profiling.stackdist.StackDistanceEngine` and
+  :class:`~repro.profiling.stackdist.OlkenStackProfiler`.
+* :func:`mru_observe_py` — the capacity-bounded sticky-dirty MRU capture
+  loop (the seed ``ReferenceMRUTracker`` semantics) over a hash table and
+  an intrusive doubly-linked recency list in flat int64 arrays.
+
+Kernels stay in the most conservative numba subset — int64/float64/bool
+arrays, scalars, and loops; no dicts, closures, or helper calls — so the
+``py`` twin exercised by the tier-1 suite covers exactly the code the
+``nb`` twin compiles.  Rehashing/compaction lives python-side (amortized,
+vectorized where it matters) to keep the kernels allocation-free.
+
+Line addresses may be any int64 except the reserved ``_EMPTY`` sentinel
+(``-2**63``, unreachable for real cache lines).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.profiling.stackdist import StackDistanceEngine
+from repro.util import jit
+
+#: Reserved hash-slot sentinels (int64 min is not a representable line).
+_EMPTY = -(1 << 63)
+_TOMB = _EMPTY + 1
+
+#: Knuth multiplicative hash constant; the product is masked to the
+#: table's low bits immediately, so Python's arbitrary-precision multiply
+#: and numba's wrapping int64 multiply agree bit-for-bit.
+_HASH_K = 2654435761
+
+
+# ----------------------------------------------------------------------
+# Kernel sources (the *_py twins; numba compiles these exact functions)
+# ----------------------------------------------------------------------
+
+
+def stackdist_observe_py(chunk, out, keys, last, tree, meta):
+    """Olken stack distances for one chunk, updating flat state in place.
+
+    Args:
+        chunk: int64[n] line addresses.
+        out: int64[n] output; exact distance per access, -1 when cold.
+        keys: int64[cap] open-addressing table (``_EMPTY`` = free slot);
+            power-of-two ``cap`` with spare capacity for ``n`` inserts.
+        last: int64[cap] last-access timestamp per occupied key slot.
+        tree: int64[size + 1] Fenwick tree over timestamps ``0..size-1``;
+            the caller guarantees ``meta[1] + n <= size``.
+        meta: int64[2] scalars: ``[0]`` distinct-line count, ``[1]`` clock.
+    """
+    mask = keys.shape[0] - 1
+    tree_size = tree.shape[0] - 1
+    count = meta[0]
+    clock = meta[1]
+    for i in range(chunk.shape[0]):
+        line = chunk[i]
+        h = (line * _HASH_K) & mask
+        while True:
+            k = keys[h]
+            if k == line:
+                break
+            if k == _EMPTY:
+                keys[h] = line
+                last[h] = -1
+                count += 1
+                break
+            h = (h + 1) & mask
+        tau = last[h]
+        if tau < 0:
+            out[i] = -1
+        else:
+            total = 0
+            j = tau + 1
+            while j > 0:
+                total += tree[j]
+                j -= j & (-j)
+            out[i] = count - total
+            j = tau + 1
+            while j <= tree_size:
+                tree[j] -= 1
+                j += j & (-j)
+        j = clock + 1
+        while j <= tree_size:
+            tree[j] += 1
+            j += j & (-j)
+        last[h] = clock
+        clock += 1
+    meta[0] = count
+    meta[1] = clock
+
+
+def stackdist_rehash_py(old_keys, old_last, keys, last):
+    """Reinsert every occupied slot of one table into a larger one.
+
+    Args:
+        old_keys: int64[old_cap] source table (``_EMPTY`` = free).
+        old_last: int64[old_cap] timestamps aligned with ``old_keys``.
+        keys: int64[cap] destination table, pre-filled with ``_EMPTY``.
+        last: int64[cap] destination timestamps.
+    """
+    mask = keys.shape[0] - 1
+    for i in range(old_keys.shape[0]):
+        line = old_keys[i]
+        if line == _EMPTY:
+            continue
+        h = (line * _HASH_K) & mask
+        while keys[h] != _EMPTY:
+            h = (h + 1) & mask
+        keys[h] = line
+        last[h] = old_last[i]
+
+
+def mru_observe_py(lines, writes, keys, vals, node_line, node_dirty,
+                   node_prev, node_next, meta, capacity):
+    """Sticky-dirty bounded MRU capture for one chunk, in place.
+
+    Reproduces the seed semantics exactly: every access moves its line to
+    most-recent, ORs in the write flag, and evicts the oldest line once
+    more than ``capacity`` are tracked.
+
+    Args:
+        lines: int64[n] line addresses.
+        writes: bool[n] write flags aligned with ``lines``.
+        keys: int64[cap] open-addressing table (``_EMPTY`` free slot,
+            ``_TOMB`` deleted); spare capacity for ``n`` inserts.
+        vals: int64[cap] node index per occupied key slot.
+        node_line: int64[nodes] line address per node.
+        node_dirty: int64[nodes] sticky write flag per node (0/1).
+        node_prev: int64[nodes] recency-list predecessor (-1 = none).
+        node_next: int64[nodes] recency-list successor / free-list chain.
+        meta: int64[5] scalars: head, tail, live, free_head, tombstones.
+        capacity: int64 tracking capacity in lines.
+    """
+    mask = keys.shape[0] - 1
+    head = meta[0]
+    tail = meta[1]
+    live = meta[2]
+    free_head = meta[3]
+    tombs = meta[4]
+    for i in range(lines.shape[0]):
+        line = lines[i]
+        w = writes[i]
+        h = (line * _HASH_K) & mask
+        slot = -1
+        first_tomb = -1
+        while True:
+            k = keys[h]
+            if k == line:
+                slot = h
+                break
+            if k == _EMPTY:
+                break
+            if k == _TOMB and first_tomb < 0:
+                first_tomb = h
+            h = (h + 1) & mask
+        if slot >= 0:
+            node = vals[slot]
+            if w:
+                node_dirty[node] = 1
+            if node != tail:
+                p = node_prev[node]
+                nx = node_next[node]
+                if p >= 0:
+                    node_next[p] = nx
+                else:
+                    head = nx
+                node_prev[nx] = p
+                node_prev[node] = tail
+                node_next[node] = -1
+                node_next[tail] = node
+                tail = node
+        else:
+            node = free_head
+            free_head = node_next[node]
+            node_line[node] = line
+            node_dirty[node] = 1 if w else 0
+            node_prev[node] = tail
+            node_next[node] = -1
+            if tail >= 0:
+                node_next[tail] = node
+            else:
+                head = node
+            tail = node
+            if first_tomb >= 0:
+                keys[first_tomb] = line
+                vals[first_tomb] = node
+                tombs -= 1
+            else:
+                keys[h] = line
+                vals[h] = node
+            live += 1
+            if live > capacity:
+                victim = head
+                vline = node_line[victim]
+                head = node_next[victim]
+                if head >= 0:
+                    node_prev[head] = -1
+                else:
+                    tail = -1
+                node_next[victim] = free_head
+                free_head = victim
+                hh = (vline * _HASH_K) & mask
+                while keys[hh] != vline:
+                    hh = (hh + 1) & mask
+                keys[hh] = _TOMB
+                vals[hh] = -1
+                tombs += 1
+                live -= 1
+    meta[0] = head
+    meta[1] = tail
+    meta[2] = live
+    meta[3] = free_head
+    meta[4] = tombs
+
+
+def mru_rehash_py(keys, vals, node_line, node_next, meta):
+    """Rebuild the MRU hash table (dropping tombstones) from the list.
+
+    Args:
+        keys: int64[cap] destination table, pre-filled with ``_EMPTY``.
+        vals: int64[cap] destination node indices.
+        node_line: int64[nodes] line address per node.
+        node_next: int64[nodes] recency-list successor chain.
+        meta: int64[5] scalars; reads head, zeroes the tombstone count.
+    """
+    mask = keys.shape[0] - 1
+    node = meta[0]
+    while node >= 0:
+        line = node_line[node]
+        h = (line * _HASH_K) & mask
+        while keys[h] != _EMPTY:
+            h = (h + 1) & mask
+        keys[h] = line
+        vals[h] = node
+        node = node_next[node]
+    meta[4] = 0
+
+
+def mru_collect_py(node_line, node_dirty, node_next, head, out_lines,
+                   out_dirty):
+    """Copy the recency list (oldest first) into flat output arrays.
+
+    Args:
+        node_line: int64[nodes] line address per node.
+        node_dirty: int64[nodes] sticky write flag per node.
+        node_next: int64[nodes] recency-list successor chain.
+        head: int64 index of the oldest node (-1 when empty).
+        out_lines: int64[live] output lines, oldest first.
+        out_dirty: int64[live] output dirty flags, aligned.
+    """
+    i = 0
+    node = head
+    while node >= 0:
+        out_lines[i] = node_line[node]
+        out_dirty[i] = node_dirty[node]
+        node = node_next[node]
+        i += 1
+
+
+# ----------------------------------------------------------------------
+# Tier bundles
+# ----------------------------------------------------------------------
+
+
+class ProfilingKernels(NamedTuple):
+    """One tier's callable set for the profiling kernels."""
+
+    tier: str
+    stackdist_observe: object
+    stackdist_rehash: object
+    mru_observe: object
+    mru_rehash: object
+    mru_collect: object
+
+
+_PY_BUNDLE = ProfilingKernels(
+    "kernel-py", stackdist_observe_py, stackdist_rehash_py,
+    mru_observe_py, mru_rehash_py, mru_collect_py,
+)
+
+_NB_BUNDLE: ProfilingKernels | None = None
+
+
+def _nb_bundle() -> ProfilingKernels:  # pragma: no cover - numba CI leg
+    """Compile (once) and return the ``nb`` twins of every kernel."""
+    global _NB_BUNDLE
+    if _NB_BUNDLE is None:
+        _NB_BUNDLE = ProfilingKernels(
+            "nb",
+            jit.compile_kernel(stackdist_observe_py),
+            jit.compile_kernel(stackdist_rehash_py),
+            jit.compile_kernel(mru_observe_py),
+            jit.compile_kernel(mru_rehash_py),
+            jit.compile_kernel(mru_collect_py),
+        )
+    return _NB_BUNDLE
+
+
+def kernel_bundle() -> ProfilingKernels | None:
+    """The active tier's kernel set, or None when the ``py`` engines run."""
+    tier = jit.kernel_tier()
+    if tier is None:
+        return None
+    if tier == "kernel-py":
+        return _PY_BUNDLE
+    return _nb_bundle()  # pragma: no cover - numba CI leg
+
+
+# ----------------------------------------------------------------------
+# Engine wrappers
+# ----------------------------------------------------------------------
+
+
+class KernelChunk(NamedTuple):
+    """Distances of one observed chunk (kernel-engine result view)."""
+
+    distances: np.ndarray
+
+
+class KernelDistanceEngine:
+    """Drop-in exact-stack-distance engine backed by the flat kernels.
+
+    Implements the slice of the :class:`StackDistanceEngine` surface the
+    LDV consumers use (``observe(...).distances``, ``unique_lines``,
+    ``reset``); distances are bit-identical.  Hash growth and timestamp
+    compaction run python-side between kernel calls, amortized O(1).
+    """
+
+    __slots__ = ("_fns", "_keys", "_last", "_tree", "_meta")
+
+    _MIN_CAP = 1024
+
+    def __init__(self, fns: ProfilingKernels | None = None) -> None:
+        self._fns = fns or kernel_bundle() or _PY_BUNDLE
+        self.reset()
+
+    @property
+    def unique_lines(self) -> int:
+        """Number of distinct lines ever observed."""
+        return int(self._meta[0])
+
+    def reset(self) -> None:
+        """Forget all lines and restart the clock."""
+        self._keys = np.full(self._MIN_CAP, _EMPTY, dtype=np.int64)
+        self._last = np.zeros(self._MIN_CAP, dtype=np.int64)
+        self._tree = np.zeros(2 * self._MIN_CAP + 1, dtype=np.int64)
+        self._meta = np.zeros(2, dtype=np.int64)
+
+    def _grow_hash(self, need: int) -> None:
+        """Rehash into the next power-of-two table with room for ``need``."""
+        cap = self._keys.shape[0]
+        while (int(self._meta[0]) + need) * 4 >= cap * 3:
+            cap *= 2
+        keys = np.full(cap, _EMPTY, dtype=np.int64)
+        last = np.zeros(cap, dtype=np.int64)
+        with np.errstate(over="ignore"):  # int64 hash wrap is the design
+            self._fns.stackdist_rehash(self._keys, self._last, keys, last)
+        self._keys = keys
+        self._last = last
+
+    def _compact(self, incoming: int) -> None:
+        """Re-number active timestamps 0..count-1 and resize the tree.
+
+        Every distinct line's last timestamp is active (lines are never
+        forgotten), so compaction is a dense re-ranking — vectorized, and
+        rare enough (the clock doubles between compactions) to amortize.
+        """
+        occupied = np.flatnonzero(self._keys != _EMPTY)
+        count = int(occupied.size)
+        times = self._last[occupied]
+        ranks = np.empty(count, dtype=np.int64)
+        ranks[np.argsort(times)] = np.arange(count, dtype=np.int64)
+        self._last[occupied] = ranks
+        size = 2 * self._MIN_CAP
+        while size < 2 * (count + incoming):
+            size *= 2
+        tree = np.zeros(size + 1, dtype=np.int64)
+        j = np.arange(1, size + 1, dtype=np.int64)
+        tree[1:] = np.clip(np.minimum(j, count) - (j - (j & -j)), 0, None)
+        self._tree = tree
+        self._meta[1] = count
+
+    def observe(self, chunk: np.ndarray, distance_floor=None) -> KernelChunk:
+        """Stream one chunk of line addresses; returns exact distances.
+
+        ``distance_floor`` is accepted for signature compatibility and
+        ignored: the kernel's distances are always exact, which trivially
+        satisfies the floor contract.
+        """
+        chunk = np.ascontiguousarray(chunk, dtype=np.int64)
+        n = int(chunk.size)
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return KernelChunk(out)
+        if (int(self._meta[0]) + n) * 4 >= self._keys.shape[0] * 3:
+            self._grow_hash(n)
+        if int(self._meta[1]) + n > self._tree.shape[0] - 1:
+            self._compact(n)
+        with np.errstate(over="ignore"):  # int64 hash wrap is the design
+            self._fns.stackdist_observe(
+                chunk, out, self._keys, self._last, self._tree, self._meta
+            )
+        return KernelChunk(out)
+
+
+def make_distance_engine():
+    """The active tier's exact-distance engine for LDV consumers.
+
+    Returns:
+        A :class:`KernelDistanceEngine` when a kernel tier is active, the
+        vectorized :class:`StackDistanceEngine` otherwise.
+    """
+    fns = kernel_bundle()
+    if fns is None:
+        return StackDistanceEngine()
+    return KernelDistanceEngine(fns)
+
+
+class MRUKernelState:
+    """Flat-array MRU capture state for one core.
+
+    Hash capacity is fixed relative to the (bounded) live-line count;
+    evictions leave tombstones that a periodic in-place rebuild sweeps.
+    """
+
+    __slots__ = ("_fns", "capacity", "_keys", "_vals", "_line", "_dirty",
+                 "_prev", "_next", "_meta")
+
+    def __init__(self, capacity: int, fns: ProfilingKernels) -> None:
+        self._fns = fns
+        self.capacity = capacity
+        nodes = capacity + 1  # one slack node between insert and evict
+        cap = 2048
+        while nodes * 4 >= cap * 3:
+            cap *= 2
+        self._keys = np.full(cap, _EMPTY, dtype=np.int64)
+        self._vals = np.zeros(cap, dtype=np.int64)
+        self._line = np.zeros(nodes, dtype=np.int64)
+        self._dirty = np.zeros(nodes, dtype=np.int64)
+        self._prev = np.zeros(nodes, dtype=np.int64)
+        self._next = np.arange(1, nodes + 1, dtype=np.int64)
+        self._next[-1] = -1
+        # head, tail, live, free_head, tombstones
+        self._meta = np.array([-1, -1, 0, 0, 0], dtype=np.int64)
+
+    @property
+    def live(self) -> int:
+        """Number of lines currently tracked."""
+        return int(self._meta[2])
+
+    def observe(self, lines: np.ndarray, writes: np.ndarray) -> None:
+        """Stream one chunk through the MRU kernel."""
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        writes = np.ascontiguousarray(writes, dtype=np.bool_)
+        n = int(lines.size)
+        if n == 0:
+            return
+        live, tombs = int(self._meta[2]), int(self._meta[4])
+        cap = self._keys.shape[0]
+        if (live + tombs + n) * 4 >= cap * 3:
+            while (live + n) * 4 >= cap * 3:
+                cap *= 2
+            if cap > self._keys.shape[0]:
+                self._keys = np.full(cap, _EMPTY, dtype=np.int64)
+                self._vals = np.zeros(cap, dtype=np.int64)
+            else:
+                self._keys.fill(_EMPTY)
+            with np.errstate(over="ignore"):
+                self._fns.mru_rehash(
+                    self._keys, self._vals, self._line, self._next, self._meta
+                )
+        with np.errstate(over="ignore"):  # int64 hash wrap is the design
+            self._fns.mru_observe(
+                lines, writes, self._keys, self._vals, self._line,
+                self._dirty, self._prev, self._next, self._meta,
+                self.capacity,
+            )
+
+    def items(self) -> tuple:
+        """Tracked ``(line, was_write)`` pairs, oldest first (seed order)."""
+        live = self.live
+        out_lines = np.empty(live, dtype=np.int64)
+        out_dirty = np.empty(live, dtype=np.int64)
+        if live:
+            self._fns.mru_collect(
+                self._line, self._dirty, self._next, int(self._meta[0]),
+                out_lines, out_dirty,
+            )
+        return tuple(zip(
+            out_lines.tolist(), out_dirty.astype(bool).tolist()
+        ))
+
+
+def warm() -> list[str]:
+    """Run every profiling kernel once on tiny inputs (compile warmup).
+
+    Returns:
+        Warmed kernel-group names (empty when no kernel tier is active).
+    """
+    fns = kernel_bundle()
+    if fns is None:
+        return []
+    engine = KernelDistanceEngine(fns)
+    engine.observe(np.array([1, 2, 1], dtype=np.int64))
+    engine._grow_hash(engine._keys.shape[0])
+    engine._compact(1)
+    mru = MRUKernelState(2, fns)
+    mru.observe(
+        np.array([1, 2, 3, 1], dtype=np.int64),
+        np.array([True, False, False, False]),
+    )
+    mru.items()
+    return ["profiling.stackdist", "profiling.mru"]

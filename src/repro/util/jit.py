@@ -1,0 +1,176 @@
+"""Runtime dispatch between the interpreted and numba-compiled kernel tiers.
+
+The hot simulation loops exist in two forms: the dict/vectorized Python
+engines (the ``py`` tier, always available) and flat-array kernels written
+as pure functions (``repro.mem.kernels`` / ``repro.profiling.kernels``)
+whose ``@njit(cache=True)`` twins form the ``nb`` tier.  This module is
+the single policy point deciding which tier runs:
+
+* ``REPRO_JIT=auto`` (default) — use ``nb`` when numba imports, ``py``
+  otherwise.
+* ``REPRO_JIT=on`` — request ``nb``; if numba is absent the system still
+  runs on ``py`` but the degradation is *loud*: :func:`degradation_note`
+  returns a message that ``repro serve`` ``/stats``, the bench harness,
+  and :class:`~repro.experiments.common.RunReport` all surface.
+* ``REPRO_JIT=off`` — force ``py`` (also what ``--no-jit`` style tooling
+  sets).
+
+Tier selection is consulted when an engine object is *constructed* (zero
+per-access overhead afterwards), so :func:`forced_tier` overrides must
+wrap construction.  The extra ``kernel-py`` tier runs the kernel sources
+interpreted — useless for speed, essential for testing the kernels
+without numba — and is reachable only through :func:`forced_tier`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import ConfigError
+
+#: Recognised ``REPRO_JIT`` values.
+MODES = ("auto", "on", "off")
+
+#: Tiers :func:`active_tier` can report.  ``kernel-py`` is test-only.
+TIERS = ("py", "nb", "kernel-py")
+
+#: :func:`forced_tier` override; ``None`` defers to the environment.
+_FORCED: str | None = None
+
+#: Cached numba probe result (``None`` = not probed yet).
+_NUMBA_OK: bool | None = None
+
+
+def numba_available() -> bool:
+    """Whether numba imports in this interpreter (probed once, cached)."""
+    global _NUMBA_OK
+    if _NUMBA_OK is None:
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            _NUMBA_OK = False
+        else:  # pragma: no cover - exercised only on the numba CI leg
+            _NUMBA_OK = True
+    return _NUMBA_OK
+
+
+def requested_mode() -> str:
+    """The ``REPRO_JIT`` mode in effect (default ``auto``); loud if bad."""
+    raw = os.environ.get("REPRO_JIT", "auto").strip().lower() or "auto"
+    if raw not in MODES:
+        raise ConfigError(
+            f"REPRO_JIT must be one of {'|'.join(MODES)}, got {raw!r}"
+        )
+    return raw
+
+
+def active_tier() -> str:
+    """The kernel tier new engines will use: ``py``, ``nb`` or ``kernel-py``."""
+    if _FORCED is not None:
+        return _FORCED
+    if requested_mode() == "off":
+        return "py"
+    return "nb" if numba_available() else "py"
+
+
+def kernel_tier() -> str | None:
+    """The active tier if it routes through the flat-array kernels, else None.
+
+    Returns:
+        ``"nb"`` or ``"kernel-py"`` when kernel objects should be built,
+        ``None`` when the dict/vectorized ``py`` engines should run.
+    """
+    tier = active_tier()
+    return tier if tier != "py" else None
+
+
+@contextmanager
+def forced_tier(tier: str | None) -> Iterator[None]:
+    """Pin :func:`active_tier` to ``tier`` while the context is open.
+
+    Args:
+        tier: One of :data:`TIERS`, or ``None`` to restore environment
+            dispatch.  Forcing ``nb`` without numba raises at kernel
+            compilation, so tests gate it on :func:`numba_available`.
+    """
+    global _FORCED
+    if tier is not None and tier not in TIERS:
+        raise ConfigError(f"unknown JIT tier {tier!r}; known: {TIERS}")
+    prev = _FORCED
+    _FORCED = tier
+    try:
+        yield
+    finally:
+        _FORCED = prev
+
+
+def compile_kernel(py_fn: Callable) -> Callable:
+    """The ``@njit(cache=True)`` twin of a pure-function kernel source.
+
+    Args:
+        py_fn: The ``*_py`` kernel (flat numpy arrays and scalars only).
+
+    Returns:
+        The compiled ``*_nb`` twin.
+
+    Raises:
+        ConfigError: When numba is not importable (callers normally gate
+            on :func:`kernel_tier` first).
+    """
+    if not numba_available():
+        raise ConfigError(
+            "the nb kernel tier needs numba, which is not importable"
+        )
+    import numba  # pragma: no cover - numba CI leg only
+
+    return numba.njit(cache=True)(py_fn)  # pragma: no cover - numba CI leg
+
+
+def degradation_note() -> str | None:
+    """The loud-degradation message, or None when nothing is degraded.
+
+    Non-None exactly when ``REPRO_JIT=on`` explicitly requested the numba
+    tier but numba is absent; ``auto`` falls back silently by design.
+    """
+    if _FORCED is None and requested_mode() == "on" and not numba_available():
+        return (
+            "REPRO_JIT=on requested the numba kernel tier, but numba is not "
+            "importable; running the interpreted 'py' tier instead"
+        )
+    return None
+
+
+def jit_status() -> dict:
+    """Dispatch state for ``/stats``, ``repro bench``, and run reports.
+
+    Returns:
+        A JSON-ready dict: the requested mode, numba availability, the
+        tier newly built engines use, and whether an explicit ``on``
+        request degraded to ``py``.
+    """
+    return {
+        "mode": requested_mode(),
+        "numba": numba_available(),
+        "tier": active_tier(),
+        "degraded": degradation_note() is not None,
+    }
+
+
+def warm_kernels() -> list[str]:
+    """Compile every kernel on tiny inputs, outside any timed region.
+
+    ``@njit(cache=True)`` twins compile on first call; benchmarks call
+    this first so ``fast_seconds`` never includes compilation.  A no-op
+    on the ``py`` tier.
+
+    Returns:
+        Names of the kernel groups that were warmed (empty on ``py``).
+    """
+    if kernel_tier() is None:
+        return []
+    from repro.mem import kernels as mem_kernels
+    from repro.profiling import kernels as prof_kernels
+
+    return [*prof_kernels.warm(), *mem_kernels.warm()]

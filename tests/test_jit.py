@@ -1,0 +1,153 @@
+"""Tests for the JIT kernel-tier dispatch module (``repro.util.jit``)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.util import jit
+
+
+class TestRequestedMode:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        assert jit.requested_mode() == "auto"
+
+    @pytest.mark.parametrize("raw", ["auto", "on", "off", " ON ", "Off", ""])
+    def test_accepts_known_modes(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JIT", raw)
+        assert jit.requested_mode() in jit.MODES
+
+    def test_rejects_unknown_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "turbo")
+        with pytest.raises(ConfigError, match="REPRO_JIT"):
+            jit.requested_mode()
+
+
+class TestActiveTier:
+    def test_off_forces_py(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "off")
+        assert jit.active_tier() == "py"
+        assert jit.kernel_tier() is None
+
+    def test_auto_matches_numba_availability(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "auto")
+        expected = "nb" if jit.numba_available() else "py"
+        assert jit.active_tier() == expected
+
+    def test_on_without_numba_degrades_to_py(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "on")
+        if jit.numba_available():
+            assert jit.active_tier() == "nb"
+        else:
+            assert jit.active_tier() == "py"
+
+
+class TestForcedTier:
+    def test_forced_tier_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "off")
+        with jit.forced_tier("kernel-py"):
+            assert jit.active_tier() == "kernel-py"
+            assert jit.kernel_tier() == "kernel-py"
+        assert jit.active_tier() == "py"
+
+    def test_nesting_restores_previous_override(self):
+        with jit.forced_tier("py"):
+            with jit.forced_tier("kernel-py"):
+                assert jit.active_tier() == "kernel-py"
+            assert jit.active_tier() == "py"
+
+    def test_restores_on_exception(self):
+        before = jit.active_tier()
+        with pytest.raises(RuntimeError):
+            with jit.forced_tier("kernel-py"):
+                raise RuntimeError("boom")
+        assert jit.active_tier() == before
+
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ConfigError, match="unknown JIT tier"):
+            with jit.forced_tier("cuda"):
+                pass  # pragma: no cover
+
+
+class TestDegradation:
+    def test_quiet_in_auto_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "auto")
+        assert jit.degradation_note() is None
+
+    def test_loud_when_on_without_numba(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "on")
+        note = jit.degradation_note()
+        if jit.numba_available():
+            assert note is None
+        else:
+            assert "numba" in note
+            assert jit.jit_status()["degraded"]
+
+    def test_forced_tier_suppresses_note(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "on")
+        with jit.forced_tier("kernel-py"):
+            assert jit.degradation_note() is None
+
+
+class TestStatus:
+    def test_status_shape(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "off")
+        status = jit.jit_status()
+        assert status == {
+            "mode": "off",
+            "numba": jit.numba_available(),
+            "tier": "py",
+            "degraded": False,
+        }
+
+    def test_status_reports_forced_tier(self):
+        with jit.forced_tier("kernel-py"):
+            assert jit.jit_status()["tier"] == "kernel-py"
+
+
+class TestRunReportNote:
+    def test_runner_records_degradation_note(self, monkeypatch):
+        # The note must not depend on the execution path (prefetch is
+        # only reached by parallel runs) — it lands at construction.
+        from repro.experiments.common import ExperimentRunner
+
+        monkeypatch.setenv("REPRO_JIT", "on")
+        runner = ExperimentRunner(scale=0.1, store=None)
+        if jit.numba_available():
+            assert runner.report.notes == []
+        else:
+            assert any("numba" in note for note in runner.report.notes)
+            assert runner.report.noteworthy()
+            assert runner.report.to_dict()["notes"] == runner.report.notes
+
+    def test_runner_quiet_in_auto_mode(self, monkeypatch):
+        from repro.experiments.common import ExperimentRunner
+
+        monkeypatch.setenv("REPRO_JIT", "auto")
+        runner = ExperimentRunner(scale=0.1, store=None)
+        assert runner.report.notes == []
+        assert not runner.report.noteworthy()
+
+
+class TestCompileAndWarm:
+    def test_compile_kernel_without_numba_raises(self):
+        if jit.numba_available():
+            pytest.skip("numba installed; compile path covered by warm test")
+        with pytest.raises(ConfigError, match="numba"):
+            jit.compile_kernel(lambda: None)
+
+    def test_warm_is_noop_on_py_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "off")
+        assert jit.warm_kernels() == []
+
+    def test_warm_covers_all_kernel_groups(self):
+        # kernel-py exercises the same warm paths the nb tier compiles.
+        with jit.forced_tier("kernel-py"):
+            warmed = jit.warm_kernels()
+        assert "profiling.stackdist" in " ".join(warmed) or warmed
+        assert len(warmed) >= 2
+
+    @pytest.mark.skipif(not jit.numba_available(), reason="numba not installed")
+    def test_warm_compiles_nb_kernels(self):  # pragma: no cover - numba leg
+        with jit.forced_tier("nb"):
+            warmed = jit.warm_kernels()
+        assert len(warmed) >= 2

@@ -141,11 +141,17 @@ def direct_payload_bytes(tmp_path, want_profiles=True) -> tuple[str, bytes]:
 
 class TestServeLifecycle:
     def test_healthz_stats_and_unknowns(self, service):
+        from repro.util import jit
+
         svc, client = service
-        assert client.get("/healthz") == (200, {"status": "ok"})
+        status, health = client.get("/healthz")
+        assert status == 200
+        assert health == {"status": "ok", "jit_tier": jit.active_tier()}
         status, stats = client.get("/stats")
         assert status == 200
         assert stats["workers"] == 2 and not stats["draining"]
+        assert stats["jit"] == jit.jit_status()
+        assert stats["jit"]["tier"] in jit.TIERS
         assert client.get("/nope")[0] == 404
         assert client.get("/jobs/job-999")[0] == 404
         assert client.post("/nope", {})[0] == 404
@@ -378,7 +384,8 @@ class TestFaultSurface:
         assert status == 503
         assert "injected" in body["error"]
         # Unmatched routes are untouched, and the service stays alive.
-        assert client.get("/healthz") == (200, {"status": "ok"})
+        status, health = client.get("/healthz")
+        assert (status, health["status"]) == (200, "ok")
         uninstall_plan()
         assert client.get("/stats")[0] == 200
 
